@@ -1,0 +1,372 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, plus ablation benchmarks for the design choices called out in
+// DESIGN.md. Each figure/table benchmark runs the corresponding experiment
+// driver end to end (workload generation, coherence classification, model
+// evaluation) and reports the headline metric of that figure as a custom
+// benchmark metric, so `go test -bench=. -benchmem` regenerates every result
+// in one pass. EXPERIMENTS.md records a full-scale reference run produced
+// with cmd/tsesim.
+//
+// The benchmarks use a reduced workload scale so the whole suite completes
+// in minutes; pass -benchscale to change it, e.g.
+//
+//	go test -bench=Fig12 -benchtime=1x -benchscale=1.0
+package tsm
+
+import (
+	"flag"
+	"strconv"
+	"strings"
+	"testing"
+
+	"tsm/internal/analysis"
+	"tsm/internal/experiments"
+	"tsm/internal/timing"
+	"tsm/internal/tse"
+	"tsm/internal/workload"
+)
+
+var benchScale = flag.Float64("benchscale", 0.1, "workload scale factor for benchmarks")
+
+// benchWorkspace builds a fresh workspace covering every workload at the
+// benchmark scale.
+func benchWorkspace() *experiments.Workspace {
+	return experiments.NewWorkspace(experiments.Options{Nodes: 16, Scale: *benchScale, Seed: 1})
+}
+
+// parsePercentCell converts an experiment table cell like "83.4%" to 83.4.
+func parsePercentCell(b *testing.B, cell string) float64 {
+	b.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "%"), 64)
+	if err != nil {
+		b.Fatalf("cannot parse %q: %v", cell, err)
+	}
+	return v
+}
+
+// runExperiment executes one experiment driver b.N times and returns the
+// final table.
+func runExperiment(b *testing.B, run experiments.Runner) experiments.Table {
+	b.Helper()
+	var tbl experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		w := benchWorkspace()
+		tbl, err = run(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+// averageColumn averages a percentage column over all rows, optionally
+// filtered by a predicate on the row.
+func averageColumn(b *testing.B, tbl experiments.Table, col int, keep func(row []string) bool) float64 {
+	b.Helper()
+	var sum float64
+	var n int
+	for _, row := range tbl.Rows {
+		if keep != nil && !keep(row) {
+			continue
+		}
+		sum += parsePercentCell(b, row[col])
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// BenchmarkTable1 regenerates the Table 1 system-parameter listing.
+func BenchmarkTable1(b *testing.B) {
+	tbl := runExperiment(b, experiments.Table1)
+	b.ReportMetric(float64(len(tbl.Rows)), "rows")
+}
+
+// BenchmarkTable2 regenerates Table 2 (applications and trace sizes).
+func BenchmarkTable2(b *testing.B) {
+	tbl := runExperiment(b, experiments.Table2)
+	b.ReportMetric(float64(len(tbl.Rows)), "rows")
+}
+
+// BenchmarkFig6 regenerates Figure 6 and reports the mean fraction of
+// temporally correlated consumptions at distance ±8 for the scientific and
+// commercial halves of the suite.
+func BenchmarkFig6(b *testing.B) {
+	tbl := runExperiment(b, experiments.Fig6)
+	isScientific := func(row []string) bool {
+		return row[0] == "em3d" || row[0] == "moldyn" || row[0] == "ocean"
+	}
+	b.ReportMetric(averageColumn(b, tbl, 4, isScientific), "sci_corr_pct@8")
+	b.ReportMetric(averageColumn(b, tbl, 4, func(r []string) bool { return !isScientific(r) }), "com_corr_pct@8")
+}
+
+// BenchmarkFig7 regenerates Figure 7 and reports the mean commercial discard
+// rate with one and with two compared streams — the accuracy mechanism's
+// headline effect.
+func BenchmarkFig7(b *testing.B) {
+	tbl := runExperiment(b, experiments.Fig7)
+	commercial := map[string]bool{"apache": true, "db2": true, "oracle": true, "zeus": true}
+	discardsFor := func(streams string) float64 {
+		return averageColumn(b, tbl, 3, func(row []string) bool {
+			return commercial[row[0]] && row[1] == streams
+		})
+	}
+	b.ReportMetric(discardsFor("1"), "com_discards_pct@1stream")
+	b.ReportMetric(discardsFor("2"), "com_discards_pct@2streams")
+}
+
+// BenchmarkFig8 regenerates Figure 8 and reports the mean commercial discard
+// rate at the smallest and largest lookahead.
+func BenchmarkFig8(b *testing.B) {
+	tbl := runExperiment(b, experiments.Fig8)
+	commercial := func(row []string) bool {
+		return row[0] == "apache" || row[0] == "db2" || row[0] == "oracle" || row[0] == "zeus"
+	}
+	b.ReportMetric(averageColumn(b, tbl, 1, commercial), "com_discards_pct@la1")
+	b.ReportMetric(averageColumn(b, tbl, len(tbl.Columns)-1, commercial), "com_discards_pct@la24")
+}
+
+// BenchmarkFig9 regenerates Figure 9 and reports mean coverage with a 512 B
+// SVB and with an unlimited SVB.
+func BenchmarkFig9(b *testing.B) {
+	tbl := runExperiment(b, experiments.Fig9)
+	covFor := func(size string) float64 {
+		return averageColumn(b, tbl, 2, func(row []string) bool { return row[1] == size })
+	}
+	b.ReportMetric(covFor("512B"), "coverage_pct@512B")
+	b.ReportMetric(covFor("inf"), "coverage_pct@inf")
+}
+
+// BenchmarkFig10 regenerates Figure 10 and reports the mean fraction of peak
+// coverage at the smallest and largest CMOB capacities.
+func BenchmarkFig10(b *testing.B) {
+	tbl := runExperiment(b, experiments.Fig10)
+	b.ReportMetric(averageColumn(b, tbl, 1, nil), "peakfrac_pct@192B")
+	b.ReportMetric(averageColumn(b, tbl, len(tbl.Columns)-1, nil), "peakfrac_pct@3MB")
+}
+
+// BenchmarkFig11 regenerates Figure 11 and reports the mean interconnect
+// overhead ratio.
+func BenchmarkFig11(b *testing.B) {
+	tbl := runExperiment(b, experiments.Fig11)
+	b.ReportMetric(averageColumn(b, tbl, 2, nil), "overhead_vs_base_pct")
+}
+
+// BenchmarkFig12 regenerates Figure 12 and reports mean coverage per
+// technique across the suite.
+func BenchmarkFig12(b *testing.B) {
+	tbl := runExperiment(b, experiments.Fig12)
+	covFor := func(tech string) float64 {
+		return averageColumn(b, tbl, 2, func(row []string) bool { return row[1] == tech })
+	}
+	b.ReportMetric(covFor("Stride"), "stride_coverage_pct")
+	b.ReportMetric(covFor("GHB G/DC"), "ghb_gdc_coverage_pct")
+	b.ReportMetric(covFor("GHB G/AC"), "ghb_gac_coverage_pct")
+	b.ReportMetric(covFor("TSE"), "tse_coverage_pct")
+}
+
+// BenchmarkFig13 regenerates Figure 13 and reports the mean fraction of SVB
+// hits from streams of at most 8 blocks for the commercial workloads.
+func BenchmarkFig13(b *testing.B) {
+	tbl := runExperiment(b, experiments.Fig13)
+	commercial := func(row []string) bool {
+		return row[0] == "apache" || row[0] == "db2" || row[0] == "oracle" || row[0] == "zeus"
+	}
+	b.ReportMetric(averageColumn(b, tbl, 3, commercial), "com_hits_pct@len<=8")
+}
+
+// BenchmarkTable3 regenerates Table 3 and reports mean trace coverage and
+// mean full (timely) coverage.
+func BenchmarkTable3(b *testing.B) {
+	tbl := runExperiment(b, experiments.Table3)
+	b.ReportMetric(averageColumn(b, tbl, 1, nil), "trace_coverage_pct")
+	b.ReportMetric(averageColumn(b, tbl, 4, nil), "full_coverage_pct")
+}
+
+// BenchmarkFig14 regenerates Figure 14 and reports the em3d and DB2 speedups
+// (the paper's best scientific and best commercial results).
+func BenchmarkFig14(b *testing.B) {
+	tbl := runExperiment(b, experiments.Fig14)
+	speedupOf := func(name string) float64 {
+		for _, row := range tbl.Rows {
+			if row[0] == name {
+				v, err := strconv.ParseFloat(row[3], 64)
+				if err != nil {
+					b.Fatalf("bad speedup cell %q", row[3])
+				}
+				return v
+			}
+		}
+		return 0
+	}
+	b.ReportMetric(speedupOf("em3d"), "em3d_speedup")
+	b.ReportMetric(speedupOf("db2"), "db2_speedup")
+}
+
+// --- Ablation benchmarks -------------------------------------------------
+//
+// These vary the design choices DESIGN.md calls out, on the DB2 workload
+// (the commercial workload TSE helps most), and report the resulting
+// coverage/discard trade-off.
+
+// ablationTrace prepares the DB2 trace and its timing profile once per
+// benchmark iteration set.
+func ablationData(b *testing.B) (*experiments.WorkloadData, *experiments.Workspace) {
+	b.Helper()
+	w := benchWorkspace()
+	d, err := w.Data("db2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d, w
+}
+
+func ablationConfig(w *experiments.Workspace, d *experiments.WorkloadData) tse.Config {
+	cfg := w.System().DefaultTSE()
+	cfg.Lookahead = d.Generator.Timing().Lookahead
+	return cfg
+}
+
+// BenchmarkAblationComparedStreams sweeps the number of compared streams.
+func BenchmarkAblationComparedStreams(b *testing.B) {
+	for _, streams := range []int{1, 2, 4} {
+		b.Run(strconv.Itoa(streams), func(b *testing.B) {
+			d, w := ablationData(b)
+			var cov analysis.CoverageResult
+			for i := 0; i < b.N; i++ {
+				cfg := ablationConfig(w, d)
+				cfg.ComparedStreams = streams
+				cov, _ = analysis.EvaluateTSE(cfg, d.Trace)
+			}
+			b.ReportMetric(100*cov.Coverage(), "coverage_pct")
+			b.ReportMetric(100*cov.DiscardRate(), "discards_pct")
+		})
+	}
+}
+
+// BenchmarkAblationLookahead sweeps the stream lookahead against the fixed
+// Table 3 choice.
+func BenchmarkAblationLookahead(b *testing.B) {
+	for _, la := range []int{4, 8, 16, 24} {
+		b.Run(strconv.Itoa(la), func(b *testing.B) {
+			d, w := ablationData(b)
+			var cov analysis.CoverageResult
+			for i := 0; i < b.N; i++ {
+				cfg := ablationConfig(w, d)
+				cfg.Lookahead = la
+				cov, _ = analysis.EvaluateTSE(cfg, d.Trace)
+			}
+			b.ReportMetric(100*cov.Coverage(), "coverage_pct")
+			b.ReportMetric(100*cov.DiscardRate(), "discards_pct")
+		})
+	}
+}
+
+// BenchmarkAblationSVBReplacement compares LRU and FIFO SVB replacement.
+func BenchmarkAblationSVBReplacement(b *testing.B) {
+	for _, fifo := range []bool{false, true} {
+		name := "LRU"
+		if fifo {
+			name = "FIFO"
+		}
+		b.Run(name, func(b *testing.B) {
+			d, w := ablationData(b)
+			var cov analysis.CoverageResult
+			for i := 0; i < b.N; i++ {
+				cfg := ablationConfig(w, d)
+				cfg.SVBFIFOReplacement = fifo
+				cov, _ = analysis.EvaluateTSE(cfg, d.Trace)
+			}
+			b.ReportMetric(100*cov.Coverage(), "coverage_pct")
+			b.ReportMetric(100*cov.DiscardRate(), "discards_pct")
+		})
+	}
+}
+
+// BenchmarkAblationStreamOnSingle compares streaming immediately from a lone
+// recorded history against waiting for a confirming second stream.
+func BenchmarkAblationStreamOnSingle(b *testing.B) {
+	for _, single := range []bool{true, false} {
+		name := "stream"
+		if !single {
+			name = "wait"
+		}
+		b.Run(name, func(b *testing.B) {
+			d, w := ablationData(b)
+			var cov analysis.CoverageResult
+			for i := 0; i < b.N; i++ {
+				cfg := ablationConfig(w, d)
+				cfg.StreamOnSingle = single
+				cov, _ = analysis.EvaluateTSE(cfg, d.Trace)
+			}
+			b.ReportMetric(100*cov.Coverage(), "coverage_pct")
+			b.ReportMetric(100*cov.DiscardRate(), "discards_pct")
+		})
+	}
+}
+
+// BenchmarkAblationCMOBPointers compares one directory CMOB pointer per
+// entry against the default two.
+func BenchmarkAblationCMOBPointers(b *testing.B) {
+	for _, ptrs := range []int{1, 2} {
+		b.Run(strconv.Itoa(ptrs), func(b *testing.B) {
+			d, w := ablationData(b)
+			var cov analysis.CoverageResult
+			for i := 0; i < b.N; i++ {
+				cfg := ablationConfig(w, d)
+				cfg.ComparedStreams = ptrs
+				cov, _ = analysis.EvaluateTSE(cfg, d.Trace)
+			}
+			b.ReportMetric(100*cov.Coverage(), "coverage_pct")
+			b.ReportMetric(100*cov.DiscardRate(), "discards_pct")
+		})
+	}
+}
+
+// BenchmarkTimingModel measures the raw cost of the DSM timing model on one
+// workload trace (baseline and with TSE).
+func BenchmarkTimingModel(b *testing.B) {
+	d, w := ablationData(b)
+	prof := d.Generator.Timing()
+	cfg := ablationConfig(w, d)
+	b.Run("base", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := timing.Simulate(d.Trace, timing.Params{
+				System: w.System(), Profile: prof, Nodes: 16,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("tse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := timing.Simulate(d.Trace, timing.Params{
+				System: w.System(), Profile: prof, Nodes: 16, TSE: &cfg,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkWorkloadGeneration measures raw workload generation plus
+// coherence classification throughput for each workload.
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	for _, name := range workload.Names() {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w := experiments.NewWorkspace(experiments.Options{
+					Nodes: 16, Scale: *benchScale, Seed: int64(i + 1), Workloads: []string{name},
+				})
+				d, err := w.Data(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(d.Consumptions), "consumptions")
+			}
+		})
+	}
+}

@@ -1,0 +1,97 @@
+// Command tracegen generates the consumption/write event trace of one
+// synthetic workload and either writes it to a binary trace file (readable
+// with internal/trace.Reader) or prints a summary.
+//
+// Usage:
+//
+//	tracegen -workload db2 -scale 0.5 -o db2.trace
+//	tracegen -workload em3d -summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"tsm/internal/coherence"
+	"tsm/internal/mem"
+	"tsm/internal/trace"
+	"tsm/internal/workload"
+)
+
+func main() {
+	var (
+		name    = flag.String("workload", "db2", "workload name (see tsesim -list)")
+		nodes   = flag.Int("nodes", 16, "number of DSM nodes")
+		scale   = flag.Float64("scale", 1.0, "workload scale factor")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		out     = flag.String("o", "", "output trace file (omit to skip writing)")
+		summary = flag.Bool("summary", true, "print a trace summary")
+	)
+	flag.Parse()
+
+	spec, ok := workload.ByName(*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tracegen: unknown workload %q\n", *name)
+		os.Exit(2)
+	}
+	gen := spec.New(workload.Config{Nodes: *nodes, Seed: *seed, Scale: *scale})
+	eng := coherence.New(coherence.Config{Nodes: *nodes, Geometry: mem.DefaultGeometry(), PointersPerEntry: 2})
+	accesses := gen.Generate()
+	tr := eng.Run(accesses)
+
+	if *summary {
+		printSummary(spec, gen, accesses, tr, eng, *nodes)
+	}
+
+	if *out != "" {
+		if err := writeTrace(*out, tr); err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d events to %s\n", tr.Len(), *out)
+	}
+}
+
+func printSummary(spec workload.Spec, gen workload.Generator, accesses []mem.Access, tr *trace.Trace, eng *coherence.Engine, nodes int) {
+	stats := eng.Stats()
+	fmt.Printf("workload:      %s (%s)\n", spec.Name, spec.Class)
+	fmt.Printf("parameters:    %s\n", spec.Parameters)
+	fmt.Printf("accesses:      %d\n", len(accesses))
+	fmt.Printf("trace events:  %d\n", tr.Len())
+	fmt.Printf("consumptions:  %d\n", stats.Consumptions)
+	fmt.Printf("spin misses:   %d (excluded)\n", stats.SpinMisses)
+	fmt.Printf("private misses:%d\n", stats.PrivateMisses)
+	fmt.Printf("write misses:  %d\n", stats.WriteMisses)
+	prof := gen.Timing()
+	fmt.Printf("timing profile: busy=%.2f other=%.2f coherent=%.2f MLP=%.1f lookahead=%d\n",
+		prof.BusyFraction, prof.OtherStallFraction, prof.CoherentStallFraction, prof.MLP, prof.Lookahead)
+
+	perNode := tr.NodeConsumptions(nodes)
+	counts := make([]int, 0, nodes)
+	for _, evs := range perNode {
+		counts = append(counts, len(evs))
+	}
+	sort.Ints(counts)
+	if len(counts) > 0 {
+		fmt.Printf("consumptions per node: min=%d median=%d max=%d\n",
+			counts[0], counts[len(counts)/2], counts[len(counts)-1])
+	}
+}
+
+func writeTrace(path string, tr *trace.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		return err
+	}
+	if err := w.WriteTrace(tr); err != nil {
+		return err
+	}
+	return w.Flush()
+}

@@ -1,0 +1,93 @@
+// Command tsesim regenerates the paper's tables and figures on the synthetic
+// workload suite.
+//
+// Usage:
+//
+//	tsesim -experiment fig12                 # one experiment, all workloads
+//	tsesim -experiment all -scale 0.25       # every table and figure, faster
+//	tsesim -experiment fig14 -workloads db2,oracle
+//	tsesim -list                             # list experiments and workloads
+//
+// The output of each experiment is a plain-text table whose rows mirror the
+// corresponding table or figure in the paper; EXPERIMENTS.md records a
+// reference run next to the published values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tsm/internal/experiments"
+	"tsm/internal/workload"
+)
+
+func main() {
+	var (
+		experimentID = flag.String("experiment", "all", "experiment id (fig6..fig14, table1..table3) or \"all\"")
+		workloads    = flag.String("workloads", "", "comma-separated workload subset (default: all seven)")
+		nodes        = flag.Int("nodes", 16, "number of DSM nodes")
+		scale        = flag.Float64("scale", 1.0, "workload scale factor")
+		seed         = flag.Int64("seed", 1, "workload generation seed")
+		list         = flag.Bool("list", false, "list available experiments and workloads, then exit")
+		quiet        = flag.Bool("quiet", false, "suppress progress messages")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+		}
+		fmt.Println("workloads:")
+		for _, s := range workload.Registry() {
+			fmt.Printf("  %-8s %-11s %s\n", s.Name, s.Class.String(), s.Parameters)
+		}
+		return
+	}
+
+	opts := experiments.Options{Nodes: *nodes, Scale: *scale, Seed: *seed}
+	if *workloads != "" {
+		for _, name := range strings.Split(*workloads, ",") {
+			name = strings.TrimSpace(strings.ToLower(name))
+			if name == "" {
+				continue
+			}
+			if _, ok := workload.ByName(name); !ok {
+				fmt.Fprintf(os.Stderr, "tsesim: unknown workload %q (known: %s)\n",
+					name, strings.Join(workload.Names(), ", "))
+				os.Exit(2)
+			}
+			opts.Workloads = append(opts.Workloads, name)
+		}
+	}
+
+	var selected []experiments.Experiment
+	if strings.EqualFold(*experimentID, "all") {
+		selected = experiments.All()
+	} else {
+		exp, ok := experiments.ByID(*experimentID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tsesim: unknown experiment %q (known: %s)\n",
+				*experimentID, strings.Join(experiments.IDs(), ", "))
+			os.Exit(2)
+		}
+		selected = []experiments.Experiment{exp}
+	}
+
+	w := experiments.NewWorkspace(opts)
+	for _, exp := range selected {
+		start := time.Now()
+		tbl, err := exp.Run(w)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tsesim: %s failed: %v\n", exp.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(tbl.String())
+		if !*quiet {
+			fmt.Printf("(%s completed in %v)\n\n", exp.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,45 @@
+// OLTP comparison: reproduce the qualitative Figure 12 result on the OLTP
+// workloads — temporal streaming eliminates roughly half of the coherent
+// read misses of a database workload, while a stride prefetcher barely fires
+// and a node-local Global History Buffer cannot see the streams that recur
+// at other nodes.
+//
+// Run with:
+//
+//	go run ./examples/oltp_comparison
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tsm"
+)
+
+func main() {
+	opts := tsm.Options{Nodes: 16, Scale: 0.15, Seed: 2}
+
+	for _, name := range []string{"db2", "oracle"} {
+		trace, gen, err := tsm.GenerateTrace(name, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("--- %s (%d consumptions) ---\n", name, trace.ConsumptionCount())
+
+		reports, err := tsm.ComparePrefetchers(trace, gen, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range reports {
+			fmt.Printf("  %s\n", r)
+		}
+
+		// The same workload through the timing model: how much execution
+		// time does the eliminated miss latency buy back?
+		tseReport, err := tsm.EvaluateTSE(trace, gen, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  timing-model speedup: %.2f (±%.3f)\n\n", tseReport.Speedup, tseReport.SpeedupCI)
+	}
+}

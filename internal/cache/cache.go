@@ -1,0 +1,304 @@
+// Package cache implements set-associative caches with LRU replacement and a
+// simple MSHR (miss status holding register) file. The DSM node model uses
+// one instance for the split L1 data cache and one for the unified L2
+// (Table 1: 64 KB 2-way L1, 8 MB 8-way L2, 64-byte blocks).
+//
+// The caches here track tags and coherence-relevant state only; no data
+// payloads are stored because every model in this repository operates on
+// addresses.
+package cache
+
+import (
+	"fmt"
+
+	"tsm/internal/mem"
+)
+
+// LineState is the local cache line state. It is deliberately simple
+// (MSI-style) because the directory in internal/coherence is the
+// authoritative source of sharing information.
+type LineState uint8
+
+const (
+	// Invalid means the line is not present.
+	Invalid LineState = iota
+	// Shared means the line is present and clean.
+	Shared
+	// Modified means the line is present and dirty.
+	Modified
+)
+
+// String implements fmt.Stringer.
+func (s LineState) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Modified:
+		return "M"
+	default:
+		return fmt.Sprintf("LineState(%d)", uint8(s))
+	}
+}
+
+// Config describes a cache geometry.
+type Config struct {
+	// Name is used in statistics and error messages ("L1D", "L2").
+	Name string
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// Ways is the associativity.
+	Ways int
+	// BlockSize is the line size in bytes.
+	BlockSize int
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c Config) Sets() int {
+	return c.SizeBytes / (c.Ways * c.BlockSize)
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 || c.BlockSize <= 0 {
+		return fmt.Errorf("cache %q: all sizes must be positive (%+v)", c.Name, c)
+	}
+	if c.BlockSize&(c.BlockSize-1) != 0 {
+		return fmt.Errorf("cache %q: block size %d not a power of two", c.Name, c.BlockSize)
+	}
+	sets := c.Sets()
+	if sets <= 0 {
+		return fmt.Errorf("cache %q: capacity %d too small for %d ways of %d-byte blocks",
+			c.Name, c.SizeBytes, c.Ways, c.BlockSize)
+	}
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %q: set count %d not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+// line is one cache line.
+type line struct {
+	tag   uint64
+	state LineState
+	lru   uint64 // larger is more recently used
+}
+
+// Stats accumulates hit/miss/eviction counts.
+type Stats struct {
+	Hits        uint64
+	Misses      uint64
+	Evictions   uint64
+	Writebacks  uint64
+	Invalidates uint64
+}
+
+// Cache is a set-associative cache with true-LRU replacement.
+type Cache struct {
+	cfg      Config
+	geom     mem.Geometry
+	sets     [][]line
+	setMask  uint64
+	lruClock uint64
+	stats    Stats
+}
+
+// New builds a cache from the configuration. It panics on an invalid
+// configuration because configurations are static model parameters, not
+// runtime inputs.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	nsets := cfg.Sets()
+	sets := make([][]line, nsets)
+	for i := range sets {
+		sets[i] = make([]line, cfg.Ways)
+	}
+	return &Cache{
+		cfg:     cfg,
+		geom:    mem.Geometry{BlockSize: cfg.BlockSize},
+		sets:    sets,
+		setMask: uint64(nsets - 1),
+	}
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// indexAndTag splits a block address into set index and tag.
+func (c *Cache) indexAndTag(b mem.BlockAddr) (int, uint64) {
+	blockNum := c.geom.BlockIndex(mem.Addr(b))
+	return int(blockNum & c.setMask), blockNum >> popcount(c.setMask)
+}
+
+// popcount of a contiguous low mask == number of index bits.
+func popcount(mask uint64) uint {
+	var n uint
+	for mask != 0 {
+		n += uint(mask & 1)
+		mask >>= 1
+	}
+	return n
+}
+
+// Lookup reports whether the block is present and its state, without
+// changing any cache state (no LRU update, no statistics).
+func (c *Cache) Lookup(b mem.BlockAddr) (LineState, bool) {
+	set, tag := c.indexAndTag(b)
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if ln.state != Invalid && ln.tag == tag {
+			return ln.state, true
+		}
+	}
+	return Invalid, false
+}
+
+// Access performs a read or write access. It returns whether the access hit
+// and, on a hit, updates LRU and (for writes) upgrades the line to Modified.
+// A miss does not allocate; callers decide whether and how to fill (so that
+// streamed blocks can be kept out of the cache hierarchy, as the SVB does).
+func (c *Cache) Access(b mem.BlockAddr, write bool) bool {
+	set, tag := c.indexAndTag(b)
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if ln.state != Invalid && ln.tag == tag {
+			c.lruClock++
+			ln.lru = c.lruClock
+			if write {
+				ln.state = Modified
+			}
+			c.stats.Hits++
+			return true
+		}
+	}
+	c.stats.Misses++
+	return false
+}
+
+// Victim describes a line evicted by Fill.
+type Victim struct {
+	Block mem.BlockAddr
+	Dirty bool
+	Valid bool
+}
+
+// Fill installs a block in the given state, evicting the LRU line of the set
+// if necessary, and returns the victim (Victim.Valid reports whether a valid
+// line was displaced).
+func (c *Cache) Fill(b mem.BlockAddr, state LineState) Victim {
+	if state == Invalid {
+		return Victim{}
+	}
+	set, tag := c.indexAndTag(b)
+	lines := c.sets[set]
+	// Already present: just update state (upgrade) and LRU.
+	for i := range lines {
+		if lines[i].state != Invalid && lines[i].tag == tag {
+			c.lruClock++
+			lines[i].lru = c.lruClock
+			if state == Modified || lines[i].state == Modified {
+				lines[i].state = Modified
+			} else {
+				lines[i].state = state
+			}
+			return Victim{}
+		}
+	}
+	// Find an invalid way, else the LRU way.
+	victimIdx := -1
+	for i := range lines {
+		if lines[i].state == Invalid {
+			victimIdx = i
+			break
+		}
+	}
+	var victim Victim
+	if victimIdx < 0 {
+		victimIdx = 0
+		for i := 1; i < len(lines); i++ {
+			if lines[i].lru < lines[victimIdx].lru {
+				victimIdx = i
+			}
+		}
+		v := lines[victimIdx]
+		victim = Victim{
+			Block: c.blockFromSetTag(set, v.tag),
+			Dirty: v.state == Modified,
+			Valid: true,
+		}
+		c.stats.Evictions++
+		if victim.Dirty {
+			c.stats.Writebacks++
+		}
+	}
+	c.lruClock++
+	lines[victimIdx] = line{tag: tag, state: state, lru: c.lruClock}
+	return victim
+}
+
+// blockFromSetTag reconstructs the block address from set index and tag.
+func (c *Cache) blockFromSetTag(set int, tag uint64) mem.BlockAddr {
+	bits := popcount(c.setMask)
+	blockNum := tag<<bits | uint64(set)
+	return c.geom.AddrOfBlock(blockNum)
+}
+
+// Invalidate removes a block if present, returning whether it was present
+// and whether it was dirty.
+func (c *Cache) Invalidate(b mem.BlockAddr) (present, dirty bool) {
+	set, tag := c.indexAndTag(b)
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if ln.state != Invalid && ln.tag == tag {
+			dirty = ln.state == Modified
+			ln.state = Invalid
+			c.stats.Invalidates++
+			return true, dirty
+		}
+	}
+	return false, false
+}
+
+// Downgrade moves a Modified block to Shared (e.g. when the directory
+// forwards a read). It reports whether the block was present and dirty.
+func (c *Cache) Downgrade(b mem.BlockAddr) bool {
+	set, tag := c.indexAndTag(b)
+	for i := range c.sets[set] {
+		ln := &c.sets[set][i]
+		if ln.state == Modified && ln.tag == tag {
+			ln.state = Shared
+			return true
+		}
+	}
+	return false
+}
+
+// OccupiedLines returns the number of valid lines (useful for tests).
+func (c *Cache) OccupiedLines() int {
+	n := 0
+	for _, set := range c.sets {
+		for _, ln := range set {
+			if ln.state != Invalid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Reset invalidates every line and clears the statistics.
+func (c *Cache) Reset() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = line{}
+		}
+	}
+	c.stats = Stats{}
+	c.lruClock = 0
+}

@@ -1,0 +1,210 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tsm/internal/mem"
+)
+
+func smallConfig() Config {
+	return Config{Name: "test", SizeBytes: 1024, Ways: 2, BlockSize: 64} // 8 sets
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := []Config{
+		smallConfig(),
+		{Name: "L1D", SizeBytes: 64 * 1024, Ways: 2, BlockSize: 64},
+		{Name: "L2", SizeBytes: 8 << 20, Ways: 8, BlockSize: 64},
+	}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", c, err)
+		}
+	}
+	bad := []Config{
+		{},
+		{SizeBytes: 1024, Ways: 2, BlockSize: 63},
+		{SizeBytes: 100, Ways: 2, BlockSize: 64},
+		{SizeBytes: 64 * 3, Ways: 1, BlockSize: 64}, // 3 sets, not power of two
+		{SizeBytes: -1, Ways: 1, BlockSize: 64},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", c)
+		}
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with invalid config should panic")
+		}
+	}()
+	New(Config{})
+}
+
+func TestHitMissFill(t *testing.T) {
+	c := New(smallConfig())
+	b := mem.BlockAddr(0x1000)
+	if c.Access(b, false) {
+		t.Fatal("access to empty cache should miss")
+	}
+	c.Fill(b, Shared)
+	if !c.Access(b, false) {
+		t.Fatal("access after fill should hit")
+	}
+	if st, ok := c.Lookup(b); !ok || st != Shared {
+		t.Fatalf("Lookup = %v,%v want Shared,true", st, ok)
+	}
+	// A write hit upgrades to Modified.
+	if !c.Access(b, true) {
+		t.Fatal("write to present block should hit")
+	}
+	if st, _ := c.Lookup(b); st != Modified {
+		t.Fatalf("state after write = %v, want Modified", st)
+	}
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 1 {
+		t.Fatalf("stats = %+v, want 2 hits 1 miss", s)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(smallConfig()) // 8 sets, 2 ways
+	// Three blocks mapping to the same set (stride = sets*blockSize = 512).
+	b0, b1, b2 := mem.BlockAddr(0), mem.BlockAddr(512), mem.BlockAddr(1024)
+	c.Fill(b0, Shared)
+	c.Fill(b1, Shared)
+	// Touch b0 so b1 becomes LRU.
+	c.Access(b0, false)
+	v := c.Fill(b2, Shared)
+	if !v.Valid || v.Block != b1 {
+		t.Fatalf("victim = %+v, want valid eviction of %#x", v, b1)
+	}
+	if _, ok := c.Lookup(b1); ok {
+		t.Fatal("b1 should have been evicted")
+	}
+	if _, ok := c.Lookup(b0); !ok {
+		t.Fatal("b0 should still be present")
+	}
+	if c.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", c.Stats().Evictions)
+	}
+}
+
+func TestDirtyEvictionWriteback(t *testing.T) {
+	c := New(smallConfig())
+	b0, b1, b2 := mem.BlockAddr(0), mem.BlockAddr(512), mem.BlockAddr(1024)
+	c.Fill(b0, Modified)
+	c.Fill(b1, Shared)
+	c.Access(b1, false) // make b0 the LRU
+	v := c.Fill(b2, Shared)
+	if !v.Valid || !v.Dirty || v.Block != b0 {
+		t.Fatalf("victim = %+v, want dirty eviction of block 0", v)
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Fatalf("writebacks = %d, want 1", c.Stats().Writebacks)
+	}
+}
+
+func TestInvalidateAndDowngrade(t *testing.T) {
+	c := New(smallConfig())
+	b := mem.BlockAddr(0x40)
+	if present, _ := c.Invalidate(b); present {
+		t.Fatal("invalidate of absent block should report not present")
+	}
+	c.Fill(b, Modified)
+	if !c.Downgrade(b) {
+		t.Fatal("downgrade of modified block should succeed")
+	}
+	if st, _ := c.Lookup(b); st != Shared {
+		t.Fatalf("state after downgrade = %v, want Shared", st)
+	}
+	if c.Downgrade(b) {
+		t.Fatal("downgrade of already-shared block should report false")
+	}
+	present, dirty := c.Invalidate(b)
+	if !present || dirty {
+		t.Fatalf("invalidate = (%v,%v), want (true,false)", present, dirty)
+	}
+	if c.OccupiedLines() != 0 {
+		t.Fatal("cache should be empty after invalidate")
+	}
+}
+
+func TestFillExistingUpgrades(t *testing.T) {
+	c := New(smallConfig())
+	b := mem.BlockAddr(0x80)
+	c.Fill(b, Shared)
+	v := c.Fill(b, Modified)
+	if v.Valid {
+		t.Fatal("re-fill of present block should not evict")
+	}
+	if st, _ := c.Lookup(b); st != Modified {
+		t.Fatalf("state = %v, want Modified", st)
+	}
+	// Filling Shared over Modified must not lose the dirty bit.
+	v = c.Fill(b, Shared)
+	if st, _ := c.Lookup(b); st != Modified {
+		t.Fatalf("state = %v, want Modified preserved", st)
+	}
+	_ = v
+}
+
+func TestCapacityNeverExceeded(t *testing.T) {
+	cfg := smallConfig()
+	c := New(cfg)
+	rng := rand.New(rand.NewSource(7))
+	maxLines := cfg.Sets() * cfg.Ways
+	for i := 0; i < 10000; i++ {
+		b := mem.BlockAddr(uint64(rng.Intn(1<<16)) &^ 63)
+		c.Fill(b, Shared)
+		if c.OccupiedLines() > maxLines {
+			t.Fatalf("occupied %d lines exceeds capacity %d", c.OccupiedLines(), maxLines)
+		}
+	}
+}
+
+func TestFillThenLookupProperty(t *testing.T) {
+	cfg := Config{Name: "q", SizeBytes: 4096, Ways: 4, BlockSize: 64}
+	f := func(raw []uint16) bool {
+		c := New(cfg)
+		for _, r := range raw {
+			b := mem.Geometry{BlockSize: 64}.BlockOf(mem.Addr(r))
+			c.Fill(b, Shared)
+			// The most recently filled block must always be present.
+			if _, ok := c.Lookup(b); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(smallConfig())
+	c.Fill(0x40, Modified)
+	c.Access(0x40, false)
+	c.Reset()
+	if c.OccupiedLines() != 0 {
+		t.Fatal("Reset should invalidate all lines")
+	}
+	if s := c.Stats(); s != (Stats{}) {
+		t.Fatalf("Reset should clear stats, got %+v", s)
+	}
+}
+
+func TestLineStateString(t *testing.T) {
+	if Invalid.String() != "I" || Shared.String() != "S" || Modified.String() != "M" {
+		t.Fatal("unexpected LineState strings")
+	}
+	if LineState(9).String() == "" {
+		t.Fatal("unknown state should produce non-empty string")
+	}
+}

@@ -1,0 +1,89 @@
+package cache
+
+import (
+	"tsm/internal/mem"
+)
+
+// MSHRFile models a finite set of miss status holding registers. The DSM
+// node model uses it to bound memory-level parallelism: Table 1 specifies
+// 32 MSHRs per cache, and Section 5.6 of the paper uses the L2 MSHR count to
+// cap the ocean lookahead.
+type MSHRFile struct {
+	capacity int
+	pending  map[mem.BlockAddr][]func()
+	// PeakOccupancy records the maximum number of simultaneously
+	// outstanding distinct blocks, which approximates measured MLP.
+	peak int
+}
+
+// NewMSHRFile returns an MSHR file with the given number of entries.
+// A non-positive capacity means "unlimited".
+func NewMSHRFile(capacity int) *MSHRFile {
+	return &MSHRFile{
+		capacity: capacity,
+		pending:  make(map[mem.BlockAddr][]func()),
+	}
+}
+
+// Capacity returns the configured number of entries (0 = unlimited).
+func (m *MSHRFile) Capacity() int { return m.capacity }
+
+// Outstanding returns the number of distinct blocks currently outstanding.
+func (m *MSHRFile) Outstanding() int { return len(m.pending) }
+
+// Peak returns the maximum simultaneous occupancy observed.
+func (m *MSHRFile) Peak() int { return m.peak }
+
+// CanAllocate reports whether a miss to a new block could be accepted.
+func (m *MSHRFile) CanAllocate(b mem.BlockAddr) bool {
+	if _, ok := m.pending[b]; ok {
+		return true // merges into the existing entry
+	}
+	return m.capacity <= 0 || len(m.pending) < m.capacity
+}
+
+// Allocate records an outstanding miss for block b. If an entry already
+// exists the request merges into it (a secondary miss). onFill, if non-nil,
+// runs when the block is filled. Allocate reports whether the request was
+// accepted (false when the file is full and no entry exists to merge into)
+// and whether this was the primary (first) miss for the block.
+func (m *MSHRFile) Allocate(b mem.BlockAddr, onFill func()) (accepted, primary bool) {
+	if waiters, ok := m.pending[b]; ok {
+		if onFill != nil {
+			m.pending[b] = append(waiters, onFill)
+		}
+		return true, false
+	}
+	if m.capacity > 0 && len(m.pending) >= m.capacity {
+		return false, false
+	}
+	var waiters []func()
+	if onFill != nil {
+		waiters = []func(){onFill}
+	}
+	m.pending[b] = waiters
+	if len(m.pending) > m.peak {
+		m.peak = len(m.pending)
+	}
+	return true, true
+}
+
+// Fill completes the outstanding miss for block b, invoking every waiter in
+// allocation order. It reports whether an entry existed.
+func (m *MSHRFile) Fill(b mem.BlockAddr) bool {
+	waiters, ok := m.pending[b]
+	if !ok {
+		return false
+	}
+	delete(m.pending, b)
+	for _, w := range waiters {
+		w()
+	}
+	return true
+}
+
+// Reset clears all entries and statistics.
+func (m *MSHRFile) Reset() {
+	m.pending = make(map[mem.BlockAddr][]func())
+	m.peak = 0
+}

@@ -1,0 +1,74 @@
+package cache
+
+import (
+	"testing"
+
+	"tsm/internal/mem"
+)
+
+func TestMSHRAllocateFill(t *testing.T) {
+	m := NewMSHRFile(2)
+	if m.Capacity() != 2 {
+		t.Fatalf("Capacity = %d, want 2", m.Capacity())
+	}
+	fills := 0
+	acc, primary := m.Allocate(0x40, func() { fills++ })
+	if !acc || !primary {
+		t.Fatalf("first allocate = (%v,%v), want (true,true)", acc, primary)
+	}
+	acc, primary = m.Allocate(0x40, func() { fills++ })
+	if !acc || primary {
+		t.Fatalf("merge allocate = (%v,%v), want (true,false)", acc, primary)
+	}
+	if m.Outstanding() != 1 {
+		t.Fatalf("Outstanding = %d, want 1 (merged)", m.Outstanding())
+	}
+	if !m.Fill(0x40) {
+		t.Fatal("Fill of outstanding block should succeed")
+	}
+	if fills != 2 {
+		t.Fatalf("fill callbacks = %d, want 2", fills)
+	}
+	if m.Fill(0x40) {
+		t.Fatal("second Fill should report no entry")
+	}
+}
+
+func TestMSHRCapacityLimit(t *testing.T) {
+	m := NewMSHRFile(2)
+	m.Allocate(0x00, nil)
+	m.Allocate(0x40, nil)
+	if m.CanAllocate(0x80) {
+		t.Fatal("full MSHR file should refuse a new block")
+	}
+	if !m.CanAllocate(0x40) {
+		t.Fatal("full MSHR file should still accept a merge")
+	}
+	if acc, _ := m.Allocate(0x80, nil); acc {
+		t.Fatal("Allocate beyond capacity should be rejected")
+	}
+	m.Fill(0x00)
+	if acc, primary := m.Allocate(0x80, nil); !acc || !primary {
+		t.Fatal("Allocate after Fill frees an entry should succeed")
+	}
+	if m.Peak() != 2 {
+		t.Fatalf("Peak = %d, want 2", m.Peak())
+	}
+}
+
+func TestMSHRUnlimited(t *testing.T) {
+	m := NewMSHRFile(0)
+	for i := 0; i < 1000; i++ {
+		b := mem.BlockAddr(i * 64)
+		if acc, _ := m.Allocate(b, nil); !acc {
+			t.Fatalf("unlimited MSHR rejected block %d", i)
+		}
+	}
+	if m.Outstanding() != 1000 {
+		t.Fatalf("Outstanding = %d, want 1000", m.Outstanding())
+	}
+	m.Reset()
+	if m.Outstanding() != 0 || m.Peak() != 0 {
+		t.Fatal("Reset should clear entries and peak")
+	}
+}

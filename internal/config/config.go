@@ -1,0 +1,146 @@
+// Package config collects the system and application parameters of the
+// paper's Tables 1 and 2 in one place, together with the latency derivations
+// (nanoseconds to cycles at the 4 GHz core clock) used by the timing model.
+package config
+
+import (
+	"fmt"
+
+	"tsm/internal/cache"
+	"tsm/internal/interconnect"
+	"tsm/internal/mem"
+	"tsm/internal/tse"
+	"tsm/internal/workload"
+)
+
+// SystemConfig is the Table 1 machine description.
+type SystemConfig struct {
+	// Nodes is the number of processing nodes (16).
+	Nodes int
+	// ClockGHz is the processor clock (4 GHz).
+	ClockGHz float64
+	// L1 and L2 are the cache geometries.
+	L1, L2 cache.Config
+	// L1LatencyCycles and L2LatencyCycles are load-to-use latencies.
+	L1LatencyCycles, L2LatencyCycles uint64
+	// L2MSHRs bounds outstanding misses per node (32); Section 5.6 caps
+	// the ocean lookahead with it.
+	L2MSHRs int
+	// MemoryLatencyNs is the DRAM access latency (60 ns).
+	MemoryLatencyNs float64
+	// Torus is the interconnect description.
+	Torus interconnect.Config
+	// ROBEntries, a processor-side limit, bounds how far the core can run
+	// ahead (256).
+	ROBEntries int
+	// Geometry is the coherence-unit geometry (64-byte blocks).
+	Geometry mem.Geometry
+}
+
+// DefaultSystem returns the Table 1 configuration.
+func DefaultSystem() SystemConfig {
+	return SystemConfig{
+		Nodes:    16,
+		ClockGHz: 4.0,
+		L1: cache.Config{
+			Name: "L1D", SizeBytes: 64 * 1024, Ways: 2, BlockSize: mem.DefaultBlockSize,
+		},
+		L2: cache.Config{
+			Name: "L2", SizeBytes: 8 << 20, Ways: 8, BlockSize: mem.DefaultBlockSize,
+		},
+		L1LatencyCycles: 2,
+		L2LatencyCycles: 25,
+		L2MSHRs:         32,
+		MemoryLatencyNs: 60,
+		Torus:           interconnect.DefaultConfig(),
+		ROBEntries:      256,
+		Geometry:        mem.DefaultGeometry(),
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c SystemConfig) Validate() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("config: nodes must be positive")
+	}
+	if c.ClockGHz <= 0 {
+		return fmt.Errorf("config: clock must be positive")
+	}
+	if err := c.L1.Validate(); err != nil {
+		return err
+	}
+	if err := c.L2.Validate(); err != nil {
+		return err
+	}
+	if err := c.Torus.Validate(); err != nil {
+		return err
+	}
+	return c.Geometry.Validate()
+}
+
+// NsToCycles converts nanoseconds to cycles at the configured clock.
+func (c SystemConfig) NsToCycles(ns float64) uint64 {
+	return uint64(ns*c.ClockGHz + 0.5)
+}
+
+// MemoryLatencyCycles is the DRAM latency in cycles.
+func (c SystemConfig) MemoryLatencyCycles() uint64 {
+	return c.NsToCycles(c.MemoryLatencyNs)
+}
+
+// HopLatencyCycles is one interconnect hop in cycles.
+func (c SystemConfig) HopLatencyCycles() uint64 { return c.Torus.HopLatencyCycles }
+
+// averageHops is the mean routing distance of the configured torus.
+func (c SystemConfig) averageHops() float64 {
+	return interconnect.New(c.Torus).AverageHops()
+}
+
+// TwoHopLatencyCycles approximates a coherent read satisfied at the home
+// node: request to home, directory + memory access, data back.
+func (c SystemConfig) TwoHopLatencyCycles() uint64 {
+	hop := float64(c.HopLatencyCycles()) * c.averageHops()
+	return uint64(2*hop) + c.MemoryLatencyCycles() + c.L2LatencyCycles
+}
+
+// ThreeHopLatencyCycles approximates a dirty coherent read miss: request to
+// home, forward to the owner, owner's L2 access, data to the requester.
+// This is the "3-hop coherence miss latency" Section 5.6 uses to size the
+// stream lookahead.
+func (c SystemConfig) ThreeHopLatencyCycles() uint64 {
+	hop := float64(c.HopLatencyCycles()) * c.averageHops()
+	return uint64(3*hop) + c.L2LatencyCycles*2
+}
+
+// SVBHitLatencyCycles is the latency of a consumption satisfied by the SVB
+// (probed in parallel with the L2, so an L2-like latency).
+func (c SystemConfig) SVBHitLatencyCycles() uint64 { return c.L2LatencyCycles }
+
+// Table1 returns the Table 1 rows as (parameter, value) pairs for display.
+func (c SystemConfig) Table1() [][2]string {
+	return [][2]string{
+		{"Processing Nodes", fmt.Sprintf("%d nodes, UltraSPARC III ISA, %.0f GHz, 8-wide, %d-entry ROB", c.Nodes, c.ClockGHz, c.ROBEntries)},
+		{"L1 Caches", fmt.Sprintf("Split I/D, %dKB %d-way, %d-cycle load-to-use", c.L1.SizeBytes/1024, c.L1.Ways, c.L1LatencyCycles)},
+		{"L2 Cache", fmt.Sprintf("Unified, %dMB %d-way, %d-cycle hit latency, %d MSHRs", c.L2.SizeBytes>>20, c.L2.Ways, c.L2LatencyCycles, c.L2MSHRs)},
+		{"Main Memory", fmt.Sprintf("%.0f ns access latency, %d-byte coherence unit", c.MemoryLatencyNs, c.Geometry.BlockSize)},
+		{"Interconnect", fmt.Sprintf("%dx%d 2D torus, %d cycles/hop, %.0f GB/s peak bisection bandwidth", c.Torus.Width, c.Torus.Height, c.Torus.HopLatencyCycles, c.Torus.PeakBisectionGBs)},
+	}
+}
+
+// Table2 returns the Table 2 rows (application, parameters).
+func Table2() [][2]string {
+	var out [][2]string
+	for _, s := range workload.Registry() {
+		out = append(out, [2]string{s.Name, s.Parameters})
+	}
+	return out
+}
+
+// DefaultTSE returns the paper's chosen TSE configuration matched to this
+// system configuration.
+func (c SystemConfig) DefaultTSE() tse.Config {
+	cfg := tse.DefaultConfig()
+	cfg.Nodes = c.Nodes
+	cfg.Geometry = c.Geometry
+	return cfg
+}

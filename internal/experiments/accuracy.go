@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tsm/internal/analysis"
+	"tsm/internal/tse"
+)
+
+// Fig7 reproduces Figure 7: coverage and discards as a function of the
+// number of compared streams (1 to 4), with a lookahead of eight and no TSE
+// hardware restrictions.
+func Fig7(w *Workspace) (Table, error) {
+	t := Table{
+		ID:      "fig7",
+		Title:   "Sensitivity to the number of compared streams",
+		Columns: []string{"Workload", "Streams", "Coverage", "Discards"},
+		Notes: "Paper: with a single stream commercial workloads discard up to ~240% of consumptions; " +
+			"comparing two streams drops discards drastically with minimal coverage loss.",
+	}
+	for _, name := range w.WorkloadNames() {
+		data, err := w.Data(name)
+		if err != nil {
+			return Table{}, err
+		}
+		for streams := 1; streams <= 4; streams++ {
+			cfg := unconstrainedTSEConfig(w, streams, 8)
+			cov, _ := analysis.EvaluateTSE(cfg, data.Trace)
+			t.Rows = append(t.Rows, []string{
+				name, fmt.Sprintf("%d", streams), pct(cov.Coverage()), pct(cov.DiscardRate()),
+			})
+		}
+	}
+	return t, nil
+}
+
+// Fig8 reproduces Figure 8: discards (normalised to consumptions) as a
+// function of the stream lookahead.
+func Fig8(w *Workspace) (Table, error) {
+	lookaheads := []int{1, 2, 4, 8, 16, 24}
+	t := Table{
+		ID:      "fig8",
+		Title:   "Effect of stream lookahead on discards",
+		Columns: []string{"Workload"},
+		Notes: "Paper: discards grow roughly linearly with lookahead for commercial workloads and stay " +
+			"low for scientific workloads.",
+	}
+	for _, l := range lookaheads {
+		t.Columns = append(t.Columns, fmt.Sprintf("LA=%d", l))
+	}
+	for _, name := range w.WorkloadNames() {
+		data, err := w.Data(name)
+		if err != nil {
+			return Table{}, err
+		}
+		row := []string{name}
+		for _, l := range lookaheads {
+			cfg := unconstrainedTSEConfig(w, 2, l)
+			cov, _ := analysis.EvaluateTSE(cfg, data.Trace)
+			row = append(row, pct(cov.DiscardRate()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig9 reproduces Figure 9: coverage and discards as the SVB capacity grows
+// from 512 bytes to unlimited.
+func Fig9(w *Workspace) (Table, error) {
+	type svbPoint struct {
+		label   string
+		entries int
+	}
+	points := []svbPoint{
+		{"512B", 512 / 64},
+		{"2KB", 2048 / 64},
+		{"8KB", 8192 / 64},
+		{"inf", 0},
+	}
+	t := Table{
+		ID:      "fig9",
+		Title:   "Sensitivity to SVB size",
+		Columns: []string{"Workload", "SVB", "Coverage", "Discards"},
+		Notes: "Paper: a 2 KB (32-entry) SVB achieves near-optimal coverage; little is gained beyond " +
+			"512 bytes per active stream of lookahead.",
+	}
+	for _, name := range w.WorkloadNames() {
+		data, err := w.Data(name)
+		if err != nil {
+			return Table{}, err
+		}
+		for _, p := range points {
+			cfg := paperTSEConfig(w, 8)
+			cfg.CMOBEntries = 0 // isolate the SVB effect
+			cfg.SVBEntries = p.entries
+			cov, _ := analysis.EvaluateTSE(cfg, data.Trace)
+			t.Rows = append(t.Rows, []string{name, p.label, pct(cov.Coverage()), pct(cov.DiscardRate())})
+		}
+	}
+	return t, nil
+}
+
+// Fig10 reproduces Figure 10: the fraction of peak coverage attained as the
+// per-node CMOB capacity grows.
+func Fig10(w *Workspace) (Table, error) {
+	capacities := []int{192, 768, 3 << 10, 12 << 10, 48 << 10, 192 << 10, 768 << 10, 3 << 20}
+	t := Table{
+		ID:      "fig10",
+		Title:   "CMOB storage requirements (% of peak coverage)",
+		Columns: []string{"Workload"},
+		Notes: "Paper: scientific applications need the CMOB to cover their active shared working set; " +
+			"commercial coverage improves smoothly, peaking around 1.5 MB.",
+	}
+	for _, c := range capacities {
+		t.Columns = append(t.Columns, fmtBytes(c))
+	}
+	for _, name := range w.WorkloadNames() {
+		data, err := w.Data(name)
+		if err != nil {
+			return Table{}, err
+		}
+		lookahead := data.Generator.Timing().Lookahead
+		// Peak coverage: unlimited CMOB.
+		peakCfg := paperTSEConfig(w, lookahead)
+		peakCfg.CMOBEntries = 0
+		peak, _ := analysis.EvaluateTSE(peakCfg, data.Trace)
+		row := []string{name}
+		for _, capBytes := range capacities {
+			cfg := paperTSEConfig(w, lookahead)
+			cfg.CMOBEntries = capBytes / tse.CMOBEntryBytes
+			cov, _ := analysis.EvaluateTSE(cfg, data.Trace)
+			frac := 0.0
+			if peak.Coverage() > 0 {
+				frac = cov.Coverage() / peak.Coverage()
+				if frac > 1 {
+					frac = 1
+				}
+			}
+			row = append(row, pct(frac))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+func fmtBytes(b int) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%dM", b>>20)
+	case b >= 1<<10:
+		return fmt.Sprintf("%dk", b>>10)
+	default:
+		return fmt.Sprintf("%d", b)
+	}
+}

@@ -1,0 +1,246 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (Section 5). Each driver reproduces the corresponding
+// result on the synthetic workload suite and returns a printable Table with
+// the same rows/series the paper reports. The cmd/tsesim CLI and the
+// repository's benchmark harness are thin wrappers around this package.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tsm/internal/coherence"
+	"tsm/internal/config"
+	"tsm/internal/trace"
+	"tsm/internal/workload"
+)
+
+// Options control the scale of an experiment run.
+type Options struct {
+	// Nodes is the number of DSM nodes (defaults to the Table 1 value).
+	Nodes int
+	// Scale is the workload scale factor (1.0 = the full synthetic
+	// problem sizes; smaller values shrink traces proportionally).
+	Scale float64
+	// Seed seeds workload generation.
+	Seed int64
+	// Workloads selects a subset by name; empty means all seven.
+	Workloads []string
+}
+
+// DefaultOptions returns a full-size 16-node run over every workload.
+func DefaultOptions() Options {
+	return Options{Nodes: 16, Scale: 1.0, Seed: 1}
+}
+
+// normalize fills in defaults.
+func (o Options) normalize() Options {
+	if o.Nodes <= 0 {
+		o.Nodes = 16
+	}
+	if o.Scale <= 0 {
+		o.Scale = 1.0
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Table is a printable experiment result.
+type Table struct {
+	// ID is the experiment identifier ("fig6", "table3", ...).
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Columns are the column headers.
+	Columns []string
+	// Rows are the data rows.
+	Rows [][]string
+	// Notes carries provenance remarks (paper values, substitutions).
+	Notes string
+}
+
+// String renders the table as aligned text.
+func (t Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "notes: %s\n", t.Notes)
+	}
+	return b.String()
+}
+
+// WorkloadData bundles everything an experiment needs for one workload.
+type WorkloadData struct {
+	// Spec is the registry entry.
+	Spec workload.Spec
+	// Generator is the constructed generator (for timing profiles).
+	Generator workload.Generator
+	// Trace is the classified consumption/write event stream.
+	Trace *trace.Trace
+	// Consumptions is the consumption count of the trace.
+	Consumptions int
+}
+
+// Workspace prepares and caches workload traces so that a batch of
+// experiments shares them.
+type Workspace struct {
+	opts   Options
+	system config.SystemConfig
+	data   map[string]*WorkloadData
+}
+
+// NewWorkspace builds a workspace for the given options.
+func NewWorkspace(opts Options) *Workspace {
+	opts = opts.normalize()
+	sys := config.DefaultSystem()
+	sys.Nodes = opts.Nodes
+	return &Workspace{opts: opts, system: sys, data: make(map[string]*WorkloadData)}
+}
+
+// Options returns the normalised options.
+func (w *Workspace) Options() Options { return w.opts }
+
+// System returns the Table 1 system configuration in use.
+func (w *Workspace) System() config.SystemConfig { return w.system }
+
+// WorkloadNames returns the selected workload names in registry order.
+func (w *Workspace) WorkloadNames() []string {
+	if len(w.opts.Workloads) == 0 {
+		return workload.Names()
+	}
+	// Preserve registry order while honouring the selection.
+	selected := make(map[string]bool, len(w.opts.Workloads))
+	for _, n := range w.opts.Workloads {
+		selected[strings.ToLower(n)] = true
+	}
+	var out []string
+	for _, n := range workload.Names() {
+		if selected[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Data returns (generating lazily) the trace and generator for a workload.
+func (w *Workspace) Data(name string) (*WorkloadData, error) {
+	name = strings.ToLower(name)
+	if d, ok := w.data[name]; ok {
+		return d, nil
+	}
+	spec, ok := workload.ByName(name)
+	if !ok {
+		known := strings.Join(workload.Names(), ", ")
+		return nil, fmt.Errorf("experiments: unknown workload %q (known: %s)", name, known)
+	}
+	gen := spec.New(workload.Config{
+		Nodes:    w.opts.Nodes,
+		Seed:     w.opts.Seed,
+		Scale:    w.opts.Scale,
+		Geometry: w.system.Geometry,
+	})
+	// Classify the raw accesses with the functional coherence engine using
+	// effectively infinite private caches: the paper's framing is that
+	// coherence misses are what remain as caches grow, and it keeps the
+	// opportunity studies free of capacity-miss noise.
+	eng := coherence.New(coherence.Config{
+		Nodes:            w.opts.Nodes,
+		Geometry:         w.system.Geometry,
+		PointersPerEntry: 2,
+	})
+	tr := eng.Run(gen.Generate())
+	d := &WorkloadData{
+		Spec:         spec,
+		Generator:    gen,
+		Trace:        tr,
+		Consumptions: tr.ConsumptionCount(),
+	}
+	w.data[name] = d
+	return d, nil
+}
+
+// Runner is the signature of an experiment driver.
+type Runner func(w *Workspace) (Table, error)
+
+// Experiment pairs an identifier with its driver.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   Runner
+}
+
+// All returns every experiment in the paper's presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "table1", Title: "DSM system parameters (Table 1)", Run: Table1},
+		{ID: "table2", Title: "Applications and parameters (Table 2)", Run: Table2},
+		{ID: "fig6", Title: "Opportunity to exploit temporal correlation (Figure 6)", Run: Fig6},
+		{ID: "fig7", Title: "Sensitivity to the number of compared streams (Figure 7)", Run: Fig7},
+		{ID: "fig8", Title: "Effect of stream lookahead on discards (Figure 8)", Run: Fig8},
+		{ID: "fig9", Title: "Sensitivity to SVB size (Figure 9)", Run: Fig9},
+		{ID: "fig10", Title: "CMOB storage requirements (Figure 10)", Run: Fig10},
+		{ID: "fig11", Title: "Interconnect bisection bandwidth overhead (Figure 11)", Run: Fig11},
+		{ID: "fig12", Title: "TSE compared to recent prefetchers (Figure 12)", Run: Fig12},
+		{ID: "fig13", Title: "Stream length distribution (Figure 13)", Run: Fig13},
+		{ID: "table3", Title: "Streaming timeliness (Table 3)", Run: Table3},
+		{ID: "fig14", Title: "Performance improvement from TSE (Figure 14)", Run: Fig14},
+	}
+}
+
+// ByID looks up an experiment by identifier.
+func ByID(id string) (Experiment, bool) {
+	id = strings.ToLower(strings.TrimSpace(id))
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns the sorted experiment identifiers (useful for CLI help).
+func IDs() []string {
+	var out []string
+	for _, e := range All() {
+		out = append(out, e.ID)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// pct formats a fraction as a percentage.
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }

@@ -1,0 +1,93 @@
+package experiments
+
+// Table1 reports the Table 1 system parameters actually used by the models.
+func Table1(w *Workspace) (Table, error) {
+	t := Table{
+		ID:      "table1",
+		Title:   "DSM system parameters",
+		Columns: []string{"Component", "Configuration"},
+		Notes:   "Latencies are converted to cycles at the 4 GHz core clock by internal/config.",
+	}
+	for _, row := range w.System().Table1() {
+		t.Rows = append(t.Rows, []string{row[0], row[1]})
+	}
+	sys := w.System()
+	t.Rows = append(t.Rows,
+		[]string{"Derived: memory latency", fmtCycles(sys.MemoryLatencyCycles())},
+		[]string{"Derived: 3-hop coherent read", fmtCycles(sys.ThreeHopLatencyCycles())},
+		[]string{"Derived: SVB/L2 probe", fmtCycles(sys.SVBHitLatencyCycles())},
+	)
+	return t, nil
+}
+
+// Table2 reports the modelled application parameters plus the actual trace
+// sizes produced by the synthetic generators at the selected scale.
+func Table2(w *Workspace) (Table, error) {
+	t := Table{
+		ID:      "table2",
+		Title:   "Applications and parameters",
+		Columns: []string{"Application", "Class", "Paper parameters (modelled)", "Consumptions in trace"},
+		Notes:   "The synthetic generators reproduce sharing behaviour, not the original binaries; see DESIGN.md.",
+	}
+	for _, name := range w.WorkloadNames() {
+		d, err := w.Data(name)
+		if err != nil {
+			return Table{}, err
+		}
+		t.Rows = append(t.Rows, []string{
+			d.Spec.Name,
+			d.Spec.Class.String(),
+			d.Spec.Parameters,
+			fmtInt(d.Consumptions),
+		})
+	}
+	return t, nil
+}
+
+func fmtCycles(c uint64) string { return fmtInt(int(c)) + " cycles" }
+
+func fmtInt(v int) string {
+	// Insert thousands separators for readability.
+	s := ""
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	if v == 0 {
+		return "0"
+	}
+	for v > 0 {
+		chunk := v % 1000
+		v /= 1000
+		if v > 0 {
+			s = padThousands(chunk) + "," + s
+		} else {
+			s = itoa(chunk) + "," + s
+		}
+	}
+	s = s[:len(s)-1]
+	if neg {
+		s = "-" + s
+	}
+	return s
+}
+
+func padThousands(v int) string {
+	s := itoa(v)
+	for len(s) < 3 {
+		s = "0" + s
+	}
+	return s
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var digits []byte
+	for v > 0 {
+		digits = append([]byte{byte('0' + v%10)}, digits...)
+		v /= 10
+	}
+	return string(digits)
+}

@@ -1,0 +1,251 @@
+// Package interconnect models the 2D torus interconnection network of the
+// DSM system (Table 1: 4x4 2D torus, 25 ns per hop, 128 GB/s peak bisection
+// bandwidth). It provides deterministic dimension-order routing distances,
+// per-message-class latency, and traffic accounting used to reproduce
+// Figure 11 (interconnect bisection bandwidth overhead).
+package interconnect
+
+import (
+	"fmt"
+
+	"tsm/internal/mem"
+)
+
+// MessageClass categorises traffic for accounting. The TSE overhead
+// categories follow Section 5.4: the dominant overhead component is
+// streaming addresses between nodes, plus CMOB pointer updates, stream
+// requests and erroneously streamed (discarded) data blocks. Correctly
+// streamed blocks replace baseline coherent read misses one-for-one and are
+// therefore not overhead.
+type MessageClass int
+
+const (
+	// ClassRequest is a coherence request (read, write, upgrade).
+	ClassRequest MessageClass = iota
+	// ClassData is a data response carrying one cache block.
+	ClassData
+	// ClassControl is a coherence control message (ack, invalidate).
+	ClassControl
+	// ClassCMOBPointer is a TSE CMOB pointer update to the directory.
+	ClassCMOBPointer
+	// ClassStreamRequest is a TSE stream request from directory to a
+	// recent consumer node.
+	ClassStreamRequest
+	// ClassStreamAddresses is a TSE message carrying a batch of stream
+	// addresses.
+	ClassStreamAddresses
+	// ClassStreamedData is a TSE-streamed data block. Only discarded
+	// blocks count as overhead; useful ones replace baseline misses.
+	ClassStreamedData
+	numClasses
+)
+
+// String implements fmt.Stringer.
+func (c MessageClass) String() string {
+	switch c {
+	case ClassRequest:
+		return "request"
+	case ClassData:
+		return "data"
+	case ClassControl:
+		return "control"
+	case ClassCMOBPointer:
+		return "cmob-pointer"
+	case ClassStreamRequest:
+		return "stream-request"
+	case ClassStreamAddresses:
+		return "stream-addresses"
+	case ClassStreamedData:
+		return "streamed-data"
+	default:
+		return fmt.Sprintf("MessageClass(%d)", int(c))
+	}
+}
+
+// IsTSEOverhead reports whether traffic of this class counts toward the TSE
+// overhead bars of Figure 11.
+func (c MessageClass) IsTSEOverhead() bool {
+	switch c {
+	case ClassCMOBPointer, ClassStreamRequest, ClassStreamAddresses, ClassStreamedData:
+		return true
+	default:
+		return false
+	}
+}
+
+// Config describes the torus.
+type Config struct {
+	// Width and Height are the torus dimensions (4x4 in the paper).
+	Width, Height int
+	// HopLatencyCycles is the per-hop latency in processor cycles.
+	// The paper's 25 ns per hop at 4 GHz is 100 cycles.
+	HopLatencyCycles uint64
+	// LinkBandwidthGBs is the per-direction link bandwidth in GB/s used
+	// to derive the peak bisection bandwidth. The paper quotes 128 GB/s
+	// peak bisection bandwidth for its model.
+	PeakBisectionGBs float64
+}
+
+// DefaultConfig returns the Table 1 torus parameters for a 16-node system
+// with a 4 GHz clock.
+func DefaultConfig() Config {
+	return Config{Width: 4, Height: 4, HopLatencyCycles: 100, PeakBisectionGBs: 128}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Width <= 0 || c.Height <= 0 {
+		return fmt.Errorf("interconnect: dimensions must be positive, got %dx%d", c.Width, c.Height)
+	}
+	if c.HopLatencyCycles == 0 {
+		return fmt.Errorf("interconnect: hop latency must be positive")
+	}
+	return nil
+}
+
+// Nodes returns the number of nodes in the torus.
+func (c Config) Nodes() int { return c.Width * c.Height }
+
+// Torus is a 2D torus network model.
+type Torus struct {
+	cfg     Config
+	traffic [numClasses]uint64 // bytes by class
+	msgs    [numClasses]uint64 // messages by class
+	// hopBytes accumulates bytes*hops, a flit-distance product used to
+	// approximate link utilisation and bisection crossing.
+	hopBytes [numClasses]uint64
+}
+
+// New builds a torus. It panics on an invalid configuration.
+func New(cfg Config) *Torus {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Torus{cfg: cfg}
+}
+
+// Config returns the torus configuration.
+func (t *Torus) Config() Config { return t.cfg }
+
+// coord returns the (x, y) coordinate of a node.
+func (t *Torus) coord(n mem.NodeID) (int, int) {
+	return int(n) % t.cfg.Width, int(n) / t.cfg.Width
+}
+
+// Hops returns the dimension-order routing distance between two nodes,
+// taking the shorter way around each ring.
+func (t *Torus) Hops(from, to mem.NodeID) int {
+	fx, fy := t.coord(from)
+	tx, ty := t.coord(to)
+	dx := ringDistance(fx, tx, t.cfg.Width)
+	dy := ringDistance(fy, ty, t.cfg.Height)
+	return dx + dy
+}
+
+func ringDistance(a, b, size int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if wrap := size - d; wrap < d {
+		return wrap
+	}
+	return d
+}
+
+// Latency returns the network latency in cycles for a message from one node
+// to another (zero hops for a node talking to itself).
+func (t *Torus) Latency(from, to mem.NodeID) uint64 {
+	return uint64(t.Hops(from, to)) * t.cfg.HopLatencyCycles
+}
+
+// AverageHops returns the mean routing distance over all ordered pairs of
+// distinct nodes; the timing model uses it for latency estimates when the
+// communicating pair is not explicitly simulated.
+func (t *Torus) AverageHops() float64 {
+	n := t.cfg.Nodes()
+	if n <= 1 {
+		return 0
+	}
+	var total, pairs int
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			total += t.Hops(mem.NodeID(i), mem.NodeID(j))
+			pairs++
+		}
+	}
+	return float64(total) / float64(pairs)
+}
+
+// Send records a message of the given class and size travelling between two
+// nodes and returns its latency in cycles. Traffic accounting assumes each
+// byte traverses every hop on the path.
+func (t *Torus) Send(from, to mem.NodeID, class MessageClass, bytes int) uint64 {
+	if class < 0 || class >= numClasses {
+		class = ClassControl
+	}
+	hops := t.Hops(from, to)
+	t.traffic[class] += uint64(bytes)
+	t.msgs[class]++
+	t.hopBytes[class] += uint64(bytes) * uint64(hops)
+	return uint64(hops) * t.cfg.HopLatencyCycles
+}
+
+// TrafficBytes returns the total bytes injected for a class.
+func (t *Torus) TrafficBytes(class MessageClass) uint64 { return t.traffic[class] }
+
+// Messages returns the number of messages injected for a class.
+func (t *Torus) Messages(class MessageClass) uint64 { return t.msgs[class] }
+
+// HopBytes returns the bytes*hops product for a class.
+func (t *Torus) HopBytes(class MessageClass) uint64 { return t.hopBytes[class] }
+
+// TotalBytes returns the total bytes injected across all classes.
+func (t *Torus) TotalBytes() uint64 {
+	var sum uint64
+	for _, b := range t.traffic {
+		sum += b
+	}
+	return sum
+}
+
+// OverheadBytes returns the bytes injected by TSE overhead classes.
+func (t *Torus) OverheadBytes() uint64 {
+	var sum uint64
+	for c := MessageClass(0); c < numClasses; c++ {
+		if c.IsTSEOverhead() {
+			sum += t.traffic[c]
+		}
+	}
+	return sum
+}
+
+// BaseBytes returns the bytes injected by non-overhead (baseline coherence)
+// classes.
+func (t *Torus) BaseBytes() uint64 { return t.TotalBytes() - t.OverheadBytes() }
+
+// BisectionFraction estimates the fraction of hop-bytes that cross the
+// bisection of the torus. For a symmetric torus under uniform traffic this
+// is approximately (average hops crossing the cut)/(total hops); we use the
+// standard approximation that half of all traffic crosses the bisection.
+const BisectionFraction = 0.5
+
+// BandwidthGBs converts a byte count accumulated over a number of cycles at
+// the given clock rate (GHz) into GB/s of bisection bandwidth demand.
+func BandwidthGBs(bytes uint64, cycles uint64, clockGHz float64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	seconds := float64(cycles) / (clockGHz * 1e9)
+	return float64(bytes) * BisectionFraction / seconds / 1e9
+}
+
+// Reset clears all traffic accounting.
+func (t *Torus) Reset() {
+	t.traffic = [numClasses]uint64{}
+	t.msgs = [numClasses]uint64{}
+	t.hopBytes = [numClasses]uint64{}
+}

@@ -1,0 +1,158 @@
+package interconnect
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tsm/internal/mem"
+)
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	if cfg.Nodes() != 16 {
+		t.Fatalf("Nodes() = %d, want 16", cfg.Nodes())
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Width: 0, Height: 4, HopLatencyCycles: 1},
+		{Width: 4, Height: -1, HopLatencyCycles: 1},
+		{Width: 4, Height: 4, HopLatencyCycles: 0},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", c)
+		}
+	}
+}
+
+func TestHops(t *testing.T) {
+	tor := New(Config{Width: 4, Height: 4, HopLatencyCycles: 100})
+	cases := []struct {
+		from, to mem.NodeID
+		want     int
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 3, 1},  // wraparound in x
+		{0, 12, 1}, // wraparound in y
+		{0, 15, 2}, // (3,3): 1+1 with wraparound
+		{0, 5, 2},
+		{0, 10, 4}, // (2,2): 2+2
+		{5, 10, 2},
+	}
+	for _, c := range cases {
+		if got := tor.Hops(c.from, c.to); got != c.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", c.from, c.to, got, c.want)
+		}
+	}
+}
+
+func TestHopsSymmetricAndBounded(t *testing.T) {
+	tor := New(Config{Width: 4, Height: 4, HopLatencyCycles: 100})
+	f := func(a, b uint8) bool {
+		from := mem.NodeID(int(a) % 16)
+		to := mem.NodeID(int(b) % 16)
+		h := tor.Hops(from, to)
+		if h != tor.Hops(to, from) {
+			return false
+		}
+		if h < 0 || h > 4 { // max 2+2 in a 4x4 torus
+			return false
+		}
+		return (h == 0) == (from == to)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyAndSend(t *testing.T) {
+	tor := New(Config{Width: 4, Height: 4, HopLatencyCycles: 100})
+	if l := tor.Latency(0, 10); l != 400 {
+		t.Fatalf("Latency(0,10) = %d, want 400", l)
+	}
+	lat := tor.Send(0, 1, ClassData, 64)
+	if lat != 100 {
+		t.Fatalf("Send latency = %d, want 100", lat)
+	}
+	if tor.TrafficBytes(ClassData) != 64 || tor.Messages(ClassData) != 1 {
+		t.Fatal("traffic accounting wrong after Send")
+	}
+	if tor.HopBytes(ClassData) != 64 {
+		t.Fatalf("HopBytes = %d, want 64", tor.HopBytes(ClassData))
+	}
+}
+
+func TestOverheadClassification(t *testing.T) {
+	tor := New(DefaultConfig())
+	tor.Send(0, 1, ClassRequest, 8)
+	tor.Send(0, 1, ClassData, 64)
+	tor.Send(1, 0, ClassStreamAddresses, 48)
+	tor.Send(1, 0, ClassCMOBPointer, 8)
+	if tor.BaseBytes() != 72 {
+		t.Fatalf("BaseBytes = %d, want 72", tor.BaseBytes())
+	}
+	if tor.OverheadBytes() != 56 {
+		t.Fatalf("OverheadBytes = %d, want 56", tor.OverheadBytes())
+	}
+	if tor.TotalBytes() != 128 {
+		t.Fatalf("TotalBytes = %d, want 128", tor.TotalBytes())
+	}
+	tor.Reset()
+	if tor.TotalBytes() != 0 {
+		t.Fatal("Reset should clear traffic")
+	}
+}
+
+func TestMessageClassStrings(t *testing.T) {
+	classes := []MessageClass{ClassRequest, ClassData, ClassControl, ClassCMOBPointer,
+		ClassStreamRequest, ClassStreamAddresses, ClassStreamedData}
+	seen := map[string]bool{}
+	for _, c := range classes {
+		s := c.String()
+		if s == "" || seen[s] {
+			t.Fatalf("class %d has empty or duplicate string %q", c, s)
+		}
+		seen[s] = true
+	}
+	if MessageClass(99).String() == "" {
+		t.Fatal("unknown class should produce a string")
+	}
+	if ClassRequest.IsTSEOverhead() || ClassData.IsTSEOverhead() {
+		t.Fatal("baseline classes must not be overhead")
+	}
+	if !ClassStreamAddresses.IsTSEOverhead() || !ClassStreamedData.IsTSEOverhead() {
+		t.Fatal("stream classes must be overhead")
+	}
+}
+
+func TestAverageHops(t *testing.T) {
+	tor := New(Config{Width: 4, Height: 4, HopLatencyCycles: 100})
+	avg := tor.AverageHops()
+	// For a 4x4 torus the mean distance over distinct pairs is 32/15.
+	want := 32.0 / 15.0
+	if diff := avg - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("AverageHops = %v, want %v", avg, want)
+	}
+	single := New(Config{Width: 1, Height: 1, HopLatencyCycles: 1})
+	if single.AverageHops() != 0 {
+		t.Fatal("single-node torus should have zero average hops")
+	}
+}
+
+func TestBandwidthGBs(t *testing.T) {
+	// 1e9 bytes over 1e9 cycles at 1 GHz = 1 second -> 0.5 GB/s after
+	// bisection fraction.
+	got := BandwidthGBs(1e9, 1e9, 1.0)
+	if diff := got - 0.5; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("BandwidthGBs = %v, want 0.5", got)
+	}
+	if BandwidthGBs(100, 0, 1.0) != 0 {
+		t.Fatal("zero cycles should yield zero bandwidth")
+	}
+}

@@ -1,0 +1,141 @@
+// Package sim provides a minimal discrete-event simulation kernel used by the
+// timing model. It supplies a cycle-granular clock, an event priority queue,
+// and a scheduler that executes callbacks in time order with deterministic
+// tie-breaking.
+//
+// The paper's evaluation uses the SIMFLEX full-system simulator; this kernel
+// plays the same structural role (advance time, deliver events) for the
+// purpose-built DSM timing model in internal/timing.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is simulation time measured in processor cycles.
+type Time uint64
+
+// Event is a callback scheduled to run at a particular time.
+type Event struct {
+	when Time
+	seq  uint64 // insertion order for deterministic ties
+	fn   func()
+}
+
+// When returns the time at which the event will fire.
+func (e *Event) When() Time { return e.when }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is the event-driven simulation engine. The zero value is not ready
+// to use; call NewKernel.
+type Kernel struct {
+	now     Time
+	events  eventHeap
+	nextSeq uint64
+	// Executed counts events that have fired; useful for tests and for
+	// guarding against runaway simulations.
+	executed uint64
+}
+
+// NewKernel returns a kernel whose clock starts at cycle zero.
+func NewKernel() *Kernel {
+	k := &Kernel{}
+	heap.Init(&k.events)
+	return k
+}
+
+// Now returns the current simulation time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Executed returns the number of events that have been executed so far.
+func (k *Kernel) Executed() uint64 { return k.executed }
+
+// Pending returns the number of scheduled but not yet executed events.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// Schedule arranges for fn to run delay cycles from the current time and
+// returns the created event. A delay of zero runs the callback during the
+// current cycle, after all previously scheduled work for that cycle.
+func (k *Kernel) Schedule(delay Time, fn func()) *Event {
+	return k.ScheduleAt(k.now+delay, fn)
+}
+
+// ScheduleAt arranges for fn to run at absolute time t. Scheduling in the
+// past panics: it indicates a model bug rather than a recoverable condition.
+func (k *Kernel) ScheduleAt(t Time, fn func()) *Event {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: schedule at %d before current time %d", t, k.now))
+	}
+	e := &Event{when: t, seq: k.nextSeq, fn: fn}
+	k.nextSeq++
+	heap.Push(&k.events, e)
+	return e
+}
+
+// Step executes the single next event, advancing the clock to its time.
+// It returns false when no events remain.
+func (k *Kernel) Step() bool {
+	if len(k.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.events).(*Event)
+	k.now = e.when
+	k.executed++
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue is empty or the clock would pass
+// limit (inclusive). It returns the number of events executed. A limit of
+// zero means "no limit".
+func (k *Kernel) Run(limit Time) uint64 {
+	start := k.executed
+	for len(k.events) > 0 {
+		next := k.events[0].when
+		if limit != 0 && next > limit {
+			break
+		}
+		k.Step()
+	}
+	return k.executed - start
+}
+
+// RunUntil executes events while cond returns true and events remain.
+// It returns the number of events executed.
+func (k *Kernel) RunUntil(cond func() bool) uint64 {
+	start := k.executed
+	for cond() && k.Step() {
+	}
+	return k.executed - start
+}
+
+// Advance moves the clock forward by delta cycles without executing events.
+// It panics if doing so would jump past a pending event, because that would
+// reorder time.
+func (k *Kernel) Advance(delta Time) {
+	target := k.now + delta
+	if len(k.events) > 0 && k.events[0].when < target {
+		panic(fmt.Sprintf("sim: advance to %d would skip event at %d", target, k.events[0].when))
+	}
+	k.now = target
+}

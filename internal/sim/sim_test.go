@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestScheduleAndRunInOrder(t *testing.T) {
+	k := NewKernel()
+	var fired []Time
+	for _, d := range []Time{30, 10, 20} {
+		d := d
+		k.Schedule(d, func() { fired = append(fired, d) })
+	}
+	n := k.Run(0)
+	if n != 3 {
+		t.Fatalf("Run executed %d events, want 3", n)
+	}
+	want := []Time{10, 20, 30}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("events fired out of order: %v", fired)
+		}
+	}
+	if k.Now() != 30 {
+		t.Fatalf("Now() = %d, want 30", k.Now())
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.Schedule(5, func() { order = append(order, i) })
+	}
+	k.Run(0)
+	for i := 0; i < 10; i++ {
+		if order[i] != i {
+			t.Fatalf("same-cycle events not executed in insertion order: %v", order)
+		}
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	for i := Time(1); i <= 10; i++ {
+		k.Schedule(i*10, func() { count++ })
+	}
+	executed := k.Run(50)
+	if executed != 5 || count != 5 {
+		t.Fatalf("Run(50) executed %d (count %d), want 5", executed, count)
+	}
+	if k.Pending() != 5 {
+		t.Fatalf("Pending() = %d, want 5", k.Pending())
+	}
+	k.Run(0)
+	if count != 10 {
+		t.Fatalf("after unlimited Run count = %d, want 10", count)
+	}
+}
+
+func TestScheduleDuringEvent(t *testing.T) {
+	k := NewKernel()
+	var fired []Time
+	k.Schedule(10, func() {
+		fired = append(fired, k.Now())
+		k.Schedule(5, func() { fired = append(fired, k.Now()) })
+	})
+	k.Run(0)
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 15 {
+		t.Fatalf("nested scheduling produced %v, want [10 15]", fired)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	k := NewKernel()
+	k.Schedule(10, func() {})
+	k.Run(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ScheduleAt in the past should panic")
+		}
+	}()
+	k.ScheduleAt(5, func() {})
+}
+
+func TestAdvance(t *testing.T) {
+	k := NewKernel()
+	k.Advance(100)
+	if k.Now() != 100 {
+		t.Fatalf("Now() = %d, want 100", k.Now())
+	}
+	k.Schedule(10, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance past a pending event should panic")
+		}
+	}()
+	k.Advance(50)
+}
+
+func TestRunUntil(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	for i := Time(1); i <= 100; i++ {
+		k.Schedule(i, func() { count++ })
+	}
+	k.RunUntil(func() bool { return count < 42 })
+	if count != 42 {
+		t.Fatalf("RunUntil stopped at count=%d, want 42", count)
+	}
+}
+
+func TestRandomizedOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	k := NewKernel()
+	var times []Time
+	var fired []Time
+	for i := 0; i < 1000; i++ {
+		d := Time(rng.Intn(10000))
+		times = append(times, d)
+		k.Schedule(d, func() { fired = append(fired, k.Now()) })
+	}
+	k.Run(0)
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	if len(fired) != len(times) {
+		t.Fatalf("fired %d events, want %d", len(fired), len(times))
+	}
+	for i := range times {
+		if fired[i] != times[i] {
+			t.Fatalf("event %d fired at %d, want %d", i, fired[i], times[i])
+		}
+	}
+	if k.Executed() != 1000 {
+		t.Fatalf("Executed() = %d, want 1000", k.Executed())
+	}
+}

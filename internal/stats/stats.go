@@ -1,0 +1,254 @@
+// Package stats provides the small statistics toolkit used by the
+// measurement harness: means, standard deviations, 95% confidence intervals
+// (the paper reports sample-derived commercial results with 95% CIs),
+// histograms, cumulative distributions and systematic sampling helpers in
+// the spirit of SMARTS.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample accumulates scalar observations and reports summary statistics.
+// The zero value is ready to use.
+type Sample struct {
+	n     int
+	sum   float64
+	sumSq float64
+	min   float64
+	max   float64
+}
+
+// Add records one observation.
+func (s *Sample) Add(x float64) {
+	if s.n == 0 || x < s.min {
+		s.min = x
+	}
+	if s.n == 0 || x > s.max {
+		s.max = x
+	}
+	s.n++
+	s.sum += x
+	s.sumSq += x * x
+}
+
+// AddAll records every observation in xs.
+func (s *Sample) AddAll(xs []float64) {
+	for _, x := range xs {
+		s.Add(x)
+	}
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return s.n }
+
+// Sum returns the sum of observations.
+func (s *Sample) Sum() float64 { return s.sum }
+
+// Mean returns the arithmetic mean, or zero for an empty sample.
+func (s *Sample) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Min returns the smallest observation (zero for an empty sample).
+func (s *Sample) Min() float64 { return s.min }
+
+// Max returns the largest observation (zero for an empty sample).
+func (s *Sample) Max() float64 { return s.max }
+
+// Variance returns the unbiased sample variance (zero for n < 2).
+func (s *Sample) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	// Guard against catastrophic cancellation going slightly negative.
+	v := (s.sumSq - float64(s.n)*m*m) / float64(s.n-1)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Sample) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// ConfidenceInterval95 returns the half-width of a 95% confidence interval
+// for the mean, using a normal approximation (z = 1.96). For fewer than two
+// observations it returns zero.
+func (s *Sample) ConfidenceInterval95() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return 1.96 * s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// String summarises the sample.
+func (s *Sample) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g stddev=%.4g ci95=%.4g", s.n, s.Mean(), s.StdDev(), s.ConfidenceInterval95())
+}
+
+// Ratio is a convenience for coverage-style metrics: a numerator counted
+// against a denominator, reported as a fraction.
+type Ratio struct {
+	Num   uint64
+	Denom uint64
+}
+
+// Add increments the numerator by num and the denominator by denom.
+func (r *Ratio) Add(num, denom uint64) {
+	r.Num += num
+	r.Denom += denom
+}
+
+// Value returns Num/Denom, or zero when the denominator is zero.
+func (r Ratio) Value() float64 {
+	if r.Denom == 0 {
+		return 0
+	}
+	return float64(r.Num) / float64(r.Denom)
+}
+
+// Percent returns the ratio as a percentage.
+func (r Ratio) Percent() float64 { return 100 * r.Value() }
+
+// Histogram counts observations in integer-keyed buckets. It is used for
+// stream-length distributions (Figure 13) and correlation-distance counts
+// (Figure 6).
+type Histogram struct {
+	counts map[int]uint64
+	total  uint64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[int]uint64)}
+}
+
+// Add increments bucket by one.
+func (h *Histogram) Add(bucket int) { h.AddN(bucket, 1) }
+
+// AddN increments bucket by n.
+func (h *Histogram) AddN(bucket int, n uint64) {
+	h.counts[bucket] += n
+	h.total += n
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Count returns the count in a bucket.
+func (h *Histogram) Count(bucket int) uint64 { return h.counts[bucket] }
+
+// Buckets returns the sorted list of non-empty buckets.
+func (h *Histogram) Buckets() []int {
+	keys := make([]int, 0, len(h.counts))
+	for k := range h.counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// CumulativeFraction returns the fraction of observations in buckets <= b.
+func (h *Histogram) CumulativeFraction(b int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var c uint64
+	for k, n := range h.counts {
+		if k <= b {
+			c += n
+		}
+	}
+	return float64(c) / float64(h.total)
+}
+
+// WeightedCumulativeFraction returns the fraction of *weight* (bucket value
+// times count) contributed by buckets <= b. Figure 13 plots the cumulative
+// fraction of all SVB hits contributed by streams of each length, which is a
+// weighted CDF where the weight of a stream of length L is L.
+func (h *Histogram) WeightedCumulativeFraction(b int) float64 {
+	var total, c float64
+	for k, n := range h.counts {
+		w := float64(k) * float64(n)
+		total += w
+		if k <= b {
+			c += w
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return c / total
+}
+
+// Mean returns the mean bucket value weighted by count.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var sum float64
+	for k, n := range h.counts {
+		sum += float64(k) * float64(n)
+	}
+	return sum / float64(h.total)
+}
+
+// SystematicSample selects every k-th index from a population of size n,
+// starting at offset start, and returns the selected indices. It mirrors the
+// SMARTS-style systematic sampling the paper uses to pick measurement
+// windows. k must be positive; start is taken modulo k.
+func SystematicSample(n, k, start int) []int {
+	if n <= 0 || k <= 0 {
+		return nil
+	}
+	start %= k
+	if start < 0 {
+		start += k
+	}
+	out := make([]int, 0, n/k+1)
+	for i := start; i < n; i += k {
+		out = append(out, i)
+	}
+	return out
+}
+
+// HarmonicMean returns the harmonic mean of xs, ignoring non-positive
+// entries. It returns zero when no positive entries exist.
+func HarmonicMean(xs []float64) float64 {
+	var sum float64
+	var n int
+	for _, x := range xs {
+		if x > 0 {
+			sum += 1 / x
+			n++
+		}
+	}
+	if n == 0 || sum == 0 {
+		return 0
+	}
+	return float64(n) / sum
+}
+
+// GeometricMean returns the geometric mean of xs, ignoring non-positive
+// entries. It returns zero when no positive entries exist.
+func GeometricMean(xs []float64) float64 {
+	var sum float64
+	var n int
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}

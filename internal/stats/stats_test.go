@@ -1,0 +1,165 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	s.AddAll([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N() != 8 {
+		t.Fatalf("N = %d, want 8", s.N())
+	}
+	if !almostEqual(s.Mean(), 5, 1e-12) {
+		t.Fatalf("Mean = %v, want 5", s.Mean())
+	}
+	// Unbiased sample variance of this classic set is 32/7.
+	if !almostEqual(s.Variance(), 32.0/7.0, 1e-9) {
+		t.Fatalf("Variance = %v, want %v", s.Variance(), 32.0/7.0)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v, want 2/9", s.Min(), s.Max())
+	}
+	if s.ConfidenceInterval95() <= 0 {
+		t.Fatal("CI95 should be positive for a non-degenerate sample")
+	}
+	if s.String() == "" {
+		t.Fatal("String() should not be empty")
+	}
+}
+
+func TestSampleEmptyAndSingle(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Variance() != 0 || s.ConfidenceInterval95() != 0 {
+		t.Fatal("empty sample should report zeros")
+	}
+	s.Add(42)
+	if s.Mean() != 42 || s.Variance() != 0 || s.ConfidenceInterval95() != 0 {
+		t.Fatal("single-observation sample should have zero variance and CI")
+	}
+}
+
+func TestSampleVarianceNonNegative(t *testing.T) {
+	f := func(xs []float64) bool {
+		var s Sample
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			// Keep magnitudes moderate so the test exercises the
+			// cancellation guard rather than float overflow.
+			s.Add(math.Mod(x, 1e6))
+		}
+		return s.Variance() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	var r Ratio
+	if r.Value() != 0 {
+		t.Fatal("zero ratio should be 0")
+	}
+	r.Add(3, 4)
+	r.Add(1, 4)
+	if !almostEqual(r.Value(), 0.5, 1e-12) {
+		t.Fatalf("Value = %v, want 0.5", r.Value())
+	}
+	if !almostEqual(r.Percent(), 50, 1e-12) {
+		t.Fatalf("Percent = %v, want 50", r.Percent())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	h.Add(1)
+	h.Add(1)
+	h.AddN(4, 2)
+	if h.Total() != 4 {
+		t.Fatalf("Total = %d, want 4", h.Total())
+	}
+	if h.Count(1) != 2 || h.Count(4) != 2 || h.Count(2) != 0 {
+		t.Fatal("bucket counts wrong")
+	}
+	b := h.Buckets()
+	if len(b) != 2 || b[0] != 1 || b[1] != 4 {
+		t.Fatalf("Buckets = %v, want [1 4]", b)
+	}
+	if !almostEqual(h.CumulativeFraction(1), 0.5, 1e-12) {
+		t.Fatalf("CumulativeFraction(1) = %v, want 0.5", h.CumulativeFraction(1))
+	}
+	if !almostEqual(h.CumulativeFraction(4), 1.0, 1e-12) {
+		t.Fatalf("CumulativeFraction(4) = %v, want 1", h.CumulativeFraction(4))
+	}
+	// Weighted: weight(1)*2 = 2, weight(4)*2 = 8, total 10.
+	if !almostEqual(h.WeightedCumulativeFraction(1), 0.2, 1e-12) {
+		t.Fatalf("WeightedCumulativeFraction(1) = %v, want 0.2", h.WeightedCumulativeFraction(1))
+	}
+	if !almostEqual(h.Mean(), 2.5, 1e-12) {
+		t.Fatalf("Mean = %v, want 2.5", h.Mean())
+	}
+}
+
+func TestHistogramCumulativeMonotone(t *testing.T) {
+	f := func(buckets []uint8) bool {
+		h := NewHistogram()
+		for _, b := range buckets {
+			h.Add(int(b))
+		}
+		prev := -1.0
+		for b := 0; b <= 256; b += 8 {
+			c := h.CumulativeFraction(b)
+			if c < prev-1e-12 || c < 0 || c > 1+1e-12 {
+				return false
+			}
+			prev = c
+		}
+		return len(buckets) == 0 || almostEqual(h.CumulativeFraction(256), 1, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSystematicSample(t *testing.T) {
+	idx := SystematicSample(10, 3, 1)
+	want := []int{1, 4, 7}
+	if len(idx) != len(want) {
+		t.Fatalf("SystematicSample = %v, want %v", idx, want)
+	}
+	for i := range want {
+		if idx[i] != want[i] {
+			t.Fatalf("SystematicSample = %v, want %v", idx, want)
+		}
+	}
+	if SystematicSample(0, 3, 0) != nil {
+		t.Fatal("empty population should return nil")
+	}
+	if SystematicSample(10, 0, 0) != nil {
+		t.Fatal("non-positive period should return nil")
+	}
+	if got := SystematicSample(5, 2, -1); len(got) == 0 {
+		t.Fatal("negative start should be normalised, not produce empty output")
+	}
+}
+
+func TestMeans(t *testing.T) {
+	if !almostEqual(HarmonicMean([]float64{1, 2, 4}), 3.0/(1+0.5+0.25), 1e-12) {
+		t.Fatal("HarmonicMean wrong")
+	}
+	if HarmonicMean(nil) != 0 || HarmonicMean([]float64{0, -1}) != 0 {
+		t.Fatal("HarmonicMean of empty/non-positive should be 0")
+	}
+	if !almostEqual(GeometricMean([]float64{1, 4}), 2, 1e-12) {
+		t.Fatal("GeometricMean wrong")
+	}
+	if GeometricMean(nil) != 0 {
+		t.Fatal("GeometricMean of empty should be 0")
+	}
+}

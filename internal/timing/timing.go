@@ -1,0 +1,380 @@
+// Package timing implements the cycle-level DSM timing model used to
+// reproduce Figure 14 (execution-time breakdown and TSE speedup) and the
+// cycle-accurate columns of Table 3 (full vs. partial coverage).
+//
+// The model replays a workload's globally ordered consumption/write trace.
+// Each node alternates between non-coherent work (busy cycles plus other
+// stalls, sized from the workload's Figure 14 baseline breakdown) and
+// coherent read misses, which it issues in bursts bounded by the workload's
+// consumption MLP (Table 3). A coherent read costs the 3-hop miss latency of
+// Table 1; with TSE enabled, a consumption that hits the SVB costs only an
+// L2-like probe if the streamed block has already arrived (full coverage) or
+// the remaining in-flight time if it is still on its way (partial coverage).
+// Streamed-block arrival times follow Section 5.6: the latency to retrieve a
+// stream and initiate streaming is approximately the same as the latency to
+// fill the consumption miss that triggered the lookup.
+package timing
+
+import (
+	"fmt"
+	"math"
+
+	"tsm/internal/config"
+	"tsm/internal/mem"
+	"tsm/internal/trace"
+	"tsm/internal/tse"
+	"tsm/internal/workload"
+)
+
+// Breakdown is the execution-time breakdown of Figure 14, in cycles summed
+// across nodes.
+type Breakdown struct {
+	BusyCycles          uint64
+	OtherStallCycles    uint64
+	CoherentStallCycles uint64
+}
+
+// Total returns the total cycles of the breakdown.
+func (b Breakdown) Total() uint64 {
+	return b.BusyCycles + b.OtherStallCycles + b.CoherentStallCycles
+}
+
+// Fractions returns the normalised breakdown (busy, other, coherent).
+func (b Breakdown) Fractions() (busy, other, coherent float64) {
+	t := float64(b.Total())
+	if t == 0 {
+		return 0, 0, 0
+	}
+	return float64(b.BusyCycles) / t, float64(b.OtherStallCycles) / t, float64(b.CoherentStallCycles) / t
+}
+
+// Result summarises one timing simulation.
+type Result struct {
+	// Breakdown is the execution-time breakdown summed over nodes.
+	Breakdown Breakdown
+	// Consumptions is the number of consumptions simulated.
+	Consumptions uint64
+	// FullCovered counts consumptions whose streamed block had already
+	// arrived (cost an SVB probe only).
+	FullCovered uint64
+	// PartialCovered counts consumptions whose streamed block was still in
+	// flight (part of the miss latency was hidden).
+	PartialCovered uint64
+	// PartialLatencyHidden is the average fraction of the miss latency
+	// hidden for partially covered consumptions.
+	PartialLatencyHidden float64
+	// MeasuredMLP is the average burst size actually simulated.
+	MeasuredMLP float64
+	// SegmentCycles records total cycles per measurement segment (same
+	// segmentation for base and TSE runs), enabling paired speedup
+	// confidence intervals in the SMARTS style.
+	SegmentCycles []uint64
+}
+
+// TotalCycles returns the total execution cycles (summed over nodes), the
+// quantity whose ratio between base and TSE runs is the Figure 14 speedup.
+func (r Result) TotalCycles() uint64 { return r.Breakdown.Total() }
+
+// FullCoverage returns FullCovered / Consumptions.
+func (r Result) FullCoverage() float64 {
+	if r.Consumptions == 0 {
+		return 0
+	}
+	return float64(r.FullCovered) / float64(r.Consumptions)
+}
+
+// PartialCoverage returns PartialCovered / Consumptions.
+func (r Result) PartialCoverage() float64 {
+	if r.Consumptions == 0 {
+		return 0
+	}
+	return float64(r.PartialCovered) / float64(r.Consumptions)
+}
+
+// Params configures one timing simulation.
+type Params struct {
+	// System supplies latencies (Table 1).
+	System config.SystemConfig
+	// Profile supplies the workload's baseline breakdown, MLP and
+	// lookahead (Figure 14 / Table 3).
+	Profile workload.TimingProfile
+	// Nodes is the number of nodes in the trace.
+	Nodes int
+	// TSE, when non-nil, enables the temporal streaming engine with the
+	// given configuration; nil simulates the baseline system.
+	TSE *tse.Config
+	// SegmentConsumptions sets how many consumptions form one measurement
+	// segment for confidence intervals (0 selects a default of 2000).
+	SegmentConsumptions int
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if err := p.System.Validate(); err != nil {
+		return err
+	}
+	if err := p.Profile.Validate(); err != nil {
+		return err
+	}
+	if p.Nodes <= 0 {
+		return fmt.Errorf("timing: nodes must be positive")
+	}
+	if p.TSE != nil {
+		if err := p.TSE.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// nodeState is the per-node simulation state.
+type nodeState struct {
+	clock uint64
+	// burst accumulates the latencies of the consumptions issued in the
+	// current MLP burst; the burst stall is their maximum.
+	burstLatencies []uint64
+	burstBudget    int
+	// mlpAcc carries the fractional part of the target burst size so that
+	// the average burst size matches a non-integer MLP.
+	mlpAcc float64
+	// arrivals maps streamed blocks to the cycle at which their data will
+	// have arrived in the SVB.
+	arrivals map[mem.BlockAddr]uint64
+	// pendingFetches collects blocks streamed during the current
+	// consumption call, before their arrival times are assigned.
+	pendingFetches []mem.BlockAddr
+	breakdown      Breakdown
+}
+
+// Simulate runs the timing model over a trace and returns the result.
+func Simulate(tr *trace.Trace, p Params) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	segSize := p.SegmentConsumptions
+	if segSize <= 0 {
+		segSize = 2000
+	}
+
+	lCoh := p.System.ThreeHopLatencyCycles()
+	lSVB := p.System.SVBHitLatencyCycles()
+	// Stream retrieval latency: the stream lookup+forwarding round trip is
+	// approximately one more 3-hop latency after the triggering miss fills.
+	streamStart := 2 * lCoh
+	// Spacing between successive streamed data blocks of one burst.
+	const streamSpacing = 30
+
+	// Per-consumption non-coherent work, derived so that the baseline
+	// breakdown matches the workload profile by construction: the baseline
+	// coherent stall per consumption is lCoh/MLP.
+	mlp := p.Profile.MLP
+	if mlp < 1 {
+		mlp = 1
+	}
+	cohPerCons := float64(lCoh) / mlp
+	nonCohFrac := p.Profile.BusyFraction + p.Profile.OtherStallFraction
+	gap := cohPerCons * nonCohFrac / p.Profile.CoherentStallFraction
+	busyShare := 0.0
+	if nonCohFrac > 0 {
+		busyShare = p.Profile.BusyFraction / nonCohFrac
+	}
+	busyPerCons := uint64(gap*busyShare + 0.5)
+	otherPerCons := uint64(gap*(1-busyShare) + 0.5)
+
+	// nextBurstSize yields burst sizes whose running average equals the
+	// (possibly fractional) MLP target.
+	nextBurstSize := func(n *nodeState) int {
+		n.mlpAcc += mlp
+		size := int(n.mlpAcc)
+		if size < 1 {
+			size = 1
+		}
+		n.mlpAcc -= float64(size)
+		return size
+	}
+
+	nodes := make([]*nodeState, p.Nodes)
+	for i := range nodes {
+		n := &nodeState{arrivals: make(map[mem.BlockAddr]uint64)}
+		n.burstBudget = nextBurstSize(n)
+		nodes[i] = n
+	}
+
+	var sys *tse.System
+	if p.TSE != nil {
+		cfg := *p.TSE
+		cfg.Nodes = p.Nodes
+		sys = tse.NewSystem(cfg)
+		for i := 0; i < p.Nodes; i++ {
+			n := nodes[i]
+			sys.Engine(mem.NodeID(i)).SetFetchHandler(func(b mem.BlockAddr) {
+				n.pendingFetches = append(n.pendingFetches, b)
+			})
+		}
+	}
+
+	res := Result{}
+	var partialHiddenSum float64
+	var bursts, burstConsumptions uint64
+	var segCycles uint64
+	var segCount int
+	prevTotal := uint64(0)
+
+	flushBurst := func(n *nodeState) {
+		if len(n.burstLatencies) == 0 {
+			return
+		}
+		var maxLat uint64
+		for _, l := range n.burstLatencies {
+			if l > maxLat {
+				maxLat = l
+			}
+		}
+		n.clock += maxLat
+		n.breakdown.CoherentStallCycles += maxLat
+		bursts++
+		burstConsumptions += uint64(len(n.burstLatencies))
+		n.burstLatencies = n.burstLatencies[:0]
+		n.burstBudget = nextBurstSize(n)
+	}
+
+	totalBreakdown := func() uint64 {
+		var t uint64
+		for _, n := range nodes {
+			t += n.breakdown.Total()
+		}
+		return t
+	}
+
+	for _, e := range tr.Events {
+		switch e.Kind {
+		case trace.KindWrite:
+			if sys != nil {
+				sys.Write(e)
+			}
+		case trace.KindConsumption:
+			if int(e.Node) < 0 || int(e.Node) >= p.Nodes {
+				continue
+			}
+			n := nodes[e.Node]
+			res.Consumptions++
+
+			// Non-coherent work preceding the consumption.
+			n.clock += busyPerCons + otherPerCons
+			n.breakdown.BusyCycles += busyPerCons
+			n.breakdown.OtherStallCycles += otherPerCons
+
+			// Determine the consumption's latency.
+			latency := lCoh
+			if sys != nil {
+				n.pendingFetches = n.pendingFetches[:0]
+				covered := sys.Consumption(e)
+				if covered {
+					arrival, ok := n.arrivals[e.Block]
+					delete(n.arrivals, e.Block)
+					if !ok || arrival <= n.clock {
+						latency = lSVB
+						res.FullCovered++
+					} else {
+						remaining := arrival - n.clock
+						if remaining > lCoh {
+							remaining = lCoh
+						}
+						latency = remaining + lSVB
+						if latency > lCoh {
+							latency = lCoh
+						}
+						res.PartialCovered++
+						partialHiddenSum += 1 - float64(remaining)/float64(lCoh)
+					}
+				}
+				// Assign arrival times to blocks streamed during this call.
+				for k, b := range n.pendingFetches {
+					if covered {
+						// Steady-state advance: one retrieval round trip.
+						n.arrivals[b] = n.clock + lCoh
+					} else {
+						// Newly located stream: lookup + forwarding, then
+						// pipelined data delivery.
+						n.arrivals[b] = n.clock + streamStart + uint64(k)*streamSpacing
+					}
+				}
+			}
+
+			// Issue into the current MLP burst.
+			n.burstLatencies = append(n.burstLatencies, latency)
+			n.burstBudget--
+			if n.burstBudget <= 0 {
+				flushBurst(n)
+			}
+
+			// Segment accounting for confidence intervals.
+			segCount++
+			if segCount >= segSize {
+				cur := totalBreakdown()
+				segCycles = cur - prevTotal
+				prevTotal = cur
+				res.SegmentCycles = append(res.SegmentCycles, segCycles)
+				segCount = 0
+			}
+		}
+	}
+	for _, n := range nodes {
+		flushBurst(n)
+	}
+	if sys != nil {
+		sys.Finish()
+	}
+
+	for _, n := range nodes {
+		res.Breakdown.BusyCycles += n.breakdown.BusyCycles
+		res.Breakdown.OtherStallCycles += n.breakdown.OtherStallCycles
+		res.Breakdown.CoherentStallCycles += n.breakdown.CoherentStallCycles
+	}
+	if res.PartialCovered > 0 {
+		res.PartialLatencyHidden = partialHiddenSum / float64(res.PartialCovered)
+	}
+	if bursts > 0 {
+		res.MeasuredMLP = float64(burstConsumptions) / float64(bursts)
+	}
+	return res, nil
+}
+
+// Speedup returns base execution time divided by the comparison execution
+// time.
+func Speedup(base, other Result) float64 {
+	if other.TotalCycles() == 0 {
+		return 0
+	}
+	return float64(base.TotalCycles()) / float64(other.TotalCycles())
+}
+
+// SpeedupConfidence computes the mean speedup and its 95% confidence
+// half-width from paired per-segment cycle counts of a base and a TSE run.
+// Segments beyond the shorter run are ignored.
+func SpeedupConfidence(base, other Result) (mean, ci float64) {
+	n := len(base.SegmentCycles)
+	if len(other.SegmentCycles) < n {
+		n = len(other.SegmentCycles)
+	}
+	if n == 0 {
+		return Speedup(base, other), 0
+	}
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		if other.SegmentCycles[i] == 0 {
+			continue
+		}
+		s := float64(base.SegmentCycles[i]) / float64(other.SegmentCycles[i])
+		sum += s
+		sumSq += s * s
+	}
+	mean = sum / float64(n)
+	if n > 1 {
+		variance := (sumSq - float64(n)*mean*mean) / float64(n-1)
+		if variance > 0 {
+			ci = 1.96 * math.Sqrt(variance) / math.Sqrt(float64(n))
+		}
+	}
+	return mean, ci
+}

@@ -1,0 +1,244 @@
+// Package trace defines the event stream that connects workload generation
+// to model evaluation. The functional coherence engine (internal/coherence)
+// turns raw memory accesses into a globally ordered stream of events:
+// consumptions (coherent read misses that are not lock/barrier spins) and
+// writes (which invalidate streamed copies). Every TSE and prefetcher model
+// in this repository, and every trace analysis, operates on this stream —
+// the same role the paper's memory traces from SIMFLEX play.
+//
+// Traces can be held in memory or serialised to a compact binary format
+// (encoding/binary, little endian) via Writer and Reader.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"tsm/internal/mem"
+)
+
+// EventKind discriminates trace events.
+type EventKind uint8
+
+const (
+	// KindConsumption is a coherent read miss by Node to Block whose value
+	// was produced by Producer.
+	KindConsumption EventKind = iota
+	// KindWrite is a store by Node to Block; it invalidates other nodes'
+	// copies, including streamed copies held in SVBs.
+	KindWrite
+	// KindReadMiss is a non-coherent (cold or capacity) read miss. These
+	// are recorded so that bandwidth and timing accounting can include
+	// baseline traffic, but predictors neither train nor predict on them.
+	KindReadMiss
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case KindConsumption:
+		return "consumption"
+	case KindWrite:
+		return "write"
+	case KindReadMiss:
+		return "read-miss"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Event is one entry in the global, totally ordered event stream.
+type Event struct {
+	// Seq is the global sequence number (dense, starting at 0).
+	Seq uint64
+	// Kind is the event type.
+	Kind EventKind
+	// Node is the node performing the access.
+	Node mem.NodeID
+	// Block is the block-aligned address.
+	Block mem.BlockAddr
+	// Producer is the node whose write produced the consumed value
+	// (meaningful for KindConsumption; mem.InvalidNode otherwise or when
+	// the value came from untouched memory).
+	Producer mem.NodeID
+}
+
+// Trace is an in-memory event stream.
+type Trace struct {
+	Events []Event
+}
+
+// Append adds an event, assigning it the next sequence number.
+func (t *Trace) Append(e Event) {
+	e.Seq = uint64(len(t.Events))
+	t.Events = append(t.Events, e)
+}
+
+// Len returns the number of events.
+func (t *Trace) Len() int { return len(t.Events) }
+
+// Consumptions returns only the consumption events, in order.
+func (t *Trace) Consumptions() []Event {
+	out := make([]Event, 0, len(t.Events))
+	for _, e := range t.Events {
+		if e.Kind == KindConsumption {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ConsumptionCount returns the number of consumption events.
+func (t *Trace) ConsumptionCount() int {
+	n := 0
+	for _, e := range t.Events {
+		if e.Kind == KindConsumption {
+			n++
+		}
+	}
+	return n
+}
+
+// NodeConsumptions returns, for each node, that node's consumptions in
+// global order. The result has length nodes.
+func (t *Trace) NodeConsumptions(nodes int) [][]Event {
+	out := make([][]Event, nodes)
+	for _, e := range t.Events {
+		if e.Kind == KindConsumption && int(e.Node) < nodes && e.Node >= 0 {
+			out[e.Node] = append(out[e.Node], e)
+		}
+	}
+	return out
+}
+
+// CountByKind returns per-kind event counts.
+func (t *Trace) CountByKind() map[EventKind]int {
+	m := make(map[EventKind]int)
+	for _, e := range t.Events {
+		m[e.Kind]++
+	}
+	return m
+}
+
+// magic identifies the binary trace format.
+var magic = [4]byte{'T', 'S', 'M', '1'}
+
+// eventWireSize is the fixed encoded size of one event.
+const eventWireSize = 1 + 2 + 8 + 2 // kind + node + block + producer
+
+// Writer serialises events to a stream.
+type Writer struct {
+	w     *bufio.Writer
+	count uint64
+	err   error
+}
+
+// NewWriter creates a Writer and emits the format header.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write serialises one event. The event's Seq field is not stored; sequence
+// numbers are implicit in stream order.
+func (w *Writer) Write(e Event) error {
+	if w.err != nil {
+		return w.err
+	}
+	var buf [eventWireSize]byte
+	buf[0] = byte(e.Kind)
+	binary.LittleEndian.PutUint16(buf[1:3], uint16(e.Node))
+	binary.LittleEndian.PutUint64(buf[3:11], uint64(e.Block))
+	binary.LittleEndian.PutUint16(buf[11:13], uint16(int16(e.Producer)))
+	if _, err := w.w.Write(buf[:]); err != nil {
+		w.err = fmt.Errorf("trace: writing event %d: %w", w.count, err)
+		return w.err
+	}
+	w.count++
+	return nil
+}
+
+// WriteTrace serialises every event of an in-memory trace.
+func (w *Writer) WriteTrace(t *Trace) error {
+	for _, e := range t.Events {
+		if err := w.Write(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Count returns the number of events written so far.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Flush writes any buffered data to the underlying writer.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// Reader deserialises events from a stream produced by Writer.
+type Reader struct {
+	r    *bufio.Reader
+	next uint64
+}
+
+// ErrBadFormat is returned when the stream does not begin with the trace
+// format header.
+var ErrBadFormat = errors.New("trace: bad format header")
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if hdr != magic {
+		return nil, ErrBadFormat
+	}
+	return &Reader{r: br}, nil
+}
+
+// Read returns the next event, or io.EOF when the stream ends cleanly.
+func (r *Reader) Read() (Event, error) {
+	var buf [eventWireSize]byte
+	if _, err := io.ReadFull(r.r, buf[:]); err != nil {
+		if err == io.EOF {
+			return Event{}, io.EOF
+		}
+		return Event{}, fmt.Errorf("trace: reading event %d: %w", r.next, err)
+	}
+	e := Event{
+		Seq:      r.next,
+		Kind:     EventKind(buf[0]),
+		Node:     mem.NodeID(binary.LittleEndian.Uint16(buf[1:3])),
+		Block:    mem.BlockAddr(binary.LittleEndian.Uint64(buf[3:11])),
+		Producer: mem.NodeID(int16(binary.LittleEndian.Uint16(buf[11:13]))),
+	}
+	r.next++
+	return e, nil
+}
+
+// ReadAll reads every remaining event into an in-memory trace.
+func (r *Reader) ReadAll() (*Trace, error) {
+	t := &Trace{}
+	for {
+		e, err := r.Read()
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return t, err
+		}
+		t.Events = append(t.Events, e)
+	}
+}

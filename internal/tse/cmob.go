@@ -1,0 +1,117 @@
+package tse
+
+import (
+	"tsm/internal/mem"
+)
+
+// CMOB is a node's Coherence Miss Order Buffer: a circular buffer, resident
+// in a private region of main memory, that records the node's coherent read
+// misses (and useful streamed hits, which replace the misses they
+// eliminated) in program order (Section 3.1).
+//
+// Entries are addressed by a monotonically increasing append offset; the
+// circular storage retains only the most recent Capacity entries, so reads
+// of overwritten offsets fail, which is how a too-small CMOB loses coverage
+// (Figure 10).
+type CMOB struct {
+	capacity int // 0 = unlimited
+	entries  []mem.BlockAddr
+	next     uint64 // next append offset (== number of appends so far)
+}
+
+// NewCMOB returns a CMOB with the given capacity in entries (0 = unlimited).
+func NewCMOB(capacity int) *CMOB {
+	c := &CMOB{capacity: capacity}
+	if capacity > 0 {
+		c.entries = make([]mem.BlockAddr, capacity)
+	}
+	return c
+}
+
+// Capacity returns the configured capacity (0 = unlimited).
+func (c *CMOB) Capacity() int { return c.capacity }
+
+// Len returns the number of entries currently retained.
+func (c *CMOB) Len() int {
+	if c.capacity == 0 || c.next < uint64(c.capacity) {
+		return int(c.next)
+	}
+	return c.capacity
+}
+
+// Appends returns the total number of appends performed.
+func (c *CMOB) Appends() uint64 { return c.next }
+
+// Append records a block address and returns the offset at which it was
+// stored. The recording node sends this offset to the block's directory
+// entry as a CMOB pointer.
+func (c *CMOB) Append(b mem.BlockAddr) uint64 {
+	offset := c.next
+	if c.capacity == 0 {
+		c.entries = append(c.entries, b)
+	} else {
+		c.entries[offset%uint64(c.capacity)] = b
+	}
+	c.next++
+	return offset
+}
+
+// resident reports whether the entry at offset is still retained.
+func (c *CMOB) resident(offset uint64) bool {
+	if offset >= c.next {
+		return false
+	}
+	if c.capacity == 0 {
+		return true
+	}
+	return c.next-offset <= uint64(c.capacity)
+}
+
+// At returns the entry at offset, if still resident.
+func (c *CMOB) At(offset uint64) (mem.BlockAddr, bool) {
+	if !c.resident(offset) {
+		return 0, false
+	}
+	if c.capacity == 0 {
+		return c.entries[offset], true
+	}
+	return c.entries[offset%uint64(c.capacity)], true
+}
+
+// ReadStream returns up to n addresses starting at the entry *following*
+// offset — the stream that followed the pointed-to miss — together with the
+// offset of the last address returned (so the caller can continue reading
+// when the FIFO runs half empty). It returns a nil slice when the pointed
+// entry has been overwritten or no subsequent entries exist.
+func (c *CMOB) ReadStream(offset uint64, n int) ([]mem.BlockAddr, uint64) {
+	if n <= 0 || !c.resident(offset) {
+		return nil, offset
+	}
+	out := make([]mem.BlockAddr, 0, n)
+	last := offset
+	for i := 0; i < n; i++ {
+		next := offset + 1 + uint64(i)
+		b, ok := c.At(next)
+		if !ok {
+			break
+		}
+		out = append(out, b)
+		last = next
+	}
+	if len(out) == 0 {
+		return nil, offset
+	}
+	return out, last
+}
+
+// StorageBytes returns the memory footprint of the retained entries using
+// the paper's 6-byte packed entries.
+func (c *CMOB) StorageBytes() int { return c.Len() * CMOBEntryBytes }
+
+// Reset discards all entries.
+func (c *CMOB) Reset() {
+	c.next = 0
+	if c.capacity == 0 {
+		c.entries = nil
+	}
+}

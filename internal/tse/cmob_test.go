@@ -1,0 +1,145 @@
+package tse
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tsm/internal/mem"
+)
+
+func TestCMOBAppendAndAt(t *testing.T) {
+	c := NewCMOB(4)
+	if c.Capacity() != 4 || c.Len() != 0 {
+		t.Fatalf("fresh CMOB: capacity=%d len=%d", c.Capacity(), c.Len())
+	}
+	offsets := make([]uint64, 0, 6)
+	for i := 0; i < 6; i++ {
+		offsets = append(offsets, c.Append(mem.BlockAddr(i*64)))
+	}
+	if c.Appends() != 6 || c.Len() != 4 {
+		t.Fatalf("appends=%d len=%d, want 6/4", c.Appends(), c.Len())
+	}
+	// Oldest two entries (offsets 0,1) have been overwritten.
+	if _, ok := c.At(offsets[0]); ok {
+		t.Fatal("offset 0 should be overwritten")
+	}
+	if _, ok := c.At(offsets[1]); ok {
+		t.Fatal("offset 1 should be overwritten")
+	}
+	for i := 2; i < 6; i++ {
+		b, ok := c.At(offsets[i])
+		if !ok || b != mem.BlockAddr(i*64) {
+			t.Fatalf("At(%d) = %#x,%v want %#x", offsets[i], b, ok, i*64)
+		}
+	}
+	if _, ok := c.At(99); ok {
+		t.Fatal("future offset should not be resident")
+	}
+}
+
+func TestCMOBUnlimited(t *testing.T) {
+	c := NewCMOB(0)
+	for i := 0; i < 1000; i++ {
+		c.Append(mem.BlockAddr(i * 64))
+	}
+	if c.Len() != 1000 {
+		t.Fatalf("Len = %d, want 1000", c.Len())
+	}
+	if b, ok := c.At(0); !ok || b != 0 {
+		t.Fatal("unlimited CMOB should retain the first entry")
+	}
+	if c.StorageBytes() != 1000*CMOBEntryBytes {
+		t.Fatalf("StorageBytes = %d, want %d", c.StorageBytes(), 1000*CMOBEntryBytes)
+	}
+}
+
+func TestCMOBReadStream(t *testing.T) {
+	c := NewCMOB(0)
+	for i := 0; i < 10; i++ {
+		c.Append(mem.BlockAddr(i * 64))
+	}
+	// Stream following entry 3 is entries 4..7 for n=4.
+	addrs, last := c.ReadStream(3, 4)
+	if len(addrs) != 4 || last != 7 {
+		t.Fatalf("ReadStream(3,4) = %v last=%d", addrs, last)
+	}
+	for i, a := range addrs {
+		if a != mem.BlockAddr((4+i)*64) {
+			t.Fatalf("stream entry %d = %#x, want %#x", i, a, (4+i)*64)
+		}
+	}
+	// Continue from last: entries 8,9 only.
+	addrs, last = c.ReadStream(last, 4)
+	if len(addrs) != 2 || last != 9 {
+		t.Fatalf("continued ReadStream = %v last=%d", addrs, last)
+	}
+	// Nothing beyond the end.
+	addrs, _ = c.ReadStream(9, 4)
+	if addrs != nil {
+		t.Fatalf("ReadStream at tail = %v, want nil", addrs)
+	}
+	// Nothing for zero or negative n.
+	if addrs, _ := c.ReadStream(0, 0); addrs != nil {
+		t.Fatal("ReadStream with n=0 should return nil")
+	}
+}
+
+func TestCMOBReadStreamOverwritten(t *testing.T) {
+	c := NewCMOB(4)
+	for i := 0; i < 10; i++ {
+		c.Append(mem.BlockAddr(i * 64))
+	}
+	// Offset 2 is long overwritten: no stream available.
+	if addrs, _ := c.ReadStream(2, 4); addrs != nil {
+		t.Fatalf("stream from overwritten offset = %v, want nil", addrs)
+	}
+	// Offset 6 is still resident; stream = entries 7,8,9.
+	addrs, last := c.ReadStream(6, 8)
+	if len(addrs) != 3 || last != 9 {
+		t.Fatalf("ReadStream(6,8) = %v last=%d", addrs, last)
+	}
+}
+
+func TestCMOBReset(t *testing.T) {
+	c := NewCMOB(8)
+	c.Append(64)
+	c.Reset()
+	if c.Len() != 0 || c.Appends() != 0 {
+		t.Fatal("Reset should clear the CMOB")
+	}
+	u := NewCMOB(0)
+	u.Append(64)
+	u.Reset()
+	if u.Len() != 0 {
+		t.Fatal("Reset should clear the unlimited CMOB")
+	}
+}
+
+func TestCMOBStreamMatchesAppendOrder(t *testing.T) {
+	// Property: for an unlimited CMOB, ReadStream(i, n) returns exactly
+	// the blocks appended at positions i+1..i+n.
+	f := func(raw []uint32, start uint8, n uint8) bool {
+		c := NewCMOB(0)
+		blocks := make([]mem.BlockAddr, len(raw))
+		for i, r := range raw {
+			blocks[i] = mem.BlockAddr(uint64(r) &^ 63)
+			c.Append(blocks[i])
+		}
+		if len(raw) == 0 {
+			return true
+		}
+		i := uint64(start) % uint64(len(raw))
+		want := int(n%16) + 1
+		addrs, _ := c.ReadStream(i, want)
+		for j, a := range addrs {
+			idx := int(i) + 1 + j
+			if idx >= len(blocks) || a != blocks[idx] {
+				return false
+			}
+		}
+		return len(addrs) <= want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

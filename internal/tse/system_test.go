@@ -1,0 +1,247 @@
+package tse
+
+import (
+	"testing"
+
+	"tsm/internal/mem"
+	"tsm/internal/trace"
+)
+
+// migratoryTrace builds a trace in which node 0 produces a sequence of
+// blocks and nodes 1..n-1 consume the exact same sequence in turn — the
+// canonical temporal-streaming scenario.
+func migratoryTrace(nodes, length int) *trace.Trace {
+	tr := &trace.Trace{}
+	for i := 0; i < length; i++ {
+		tr.Append(trace.Event{Kind: trace.KindWrite, Node: 0, Block: mem.BlockAddr(i * 64)})
+	}
+	for n := 1; n < nodes; n++ {
+		for i := 0; i < length; i++ {
+			tr.Append(trace.Event{
+				Kind: trace.KindConsumption, Node: mem.NodeID(n),
+				Block: mem.BlockAddr(i * 64), Producer: 0,
+			})
+		}
+	}
+	return tr
+}
+
+func smallSystemConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Nodes = 4
+	cfg.CMOBEntries = 0
+	cfg.SVBEntries = 0
+	cfg.Lookahead = 8
+	return cfg
+}
+
+func TestSystemCoversRecurringStreams(t *testing.T) {
+	cfg := smallSystemConfig()
+	s := NewSystem(cfg)
+	tr := migratoryTrace(4, 200)
+	res := s.Run(tr)
+
+	// Node 1 sees the sequence first with no prior sharer: zero coverage.
+	// Nodes 2 and 3 follow node 1's (and 2's) recorded order: near-total
+	// coverage apart from each node's first miss (the stream head).
+	total := uint64(3 * 200)
+	if res.Consumptions != total {
+		t.Fatalf("consumptions = %d, want %d", res.Consumptions, total)
+	}
+	wantMin := uint64(2*200 - 10)
+	if res.Covered < wantMin {
+		t.Fatalf("covered = %d, want >= %d", res.Covered, wantMin)
+	}
+	if res.Coverage() < 0.6 {
+		t.Fatalf("coverage = %v, want >= 0.6", res.Coverage())
+	}
+	// Discards should be small: the streams are perfectly correlated.
+	if res.DiscardRate() > 0.2 {
+		t.Fatalf("discard rate = %v, want <= 0.2", res.DiscardRate())
+	}
+}
+
+func TestSystemUncorrelatedTrafficLowCoverage(t *testing.T) {
+	cfg := smallSystemConfig()
+	cfg.ComparedStreams = 2
+	s := NewSystem(cfg)
+	tr := &trace.Trace{}
+	// Producer writes blocks; consumers read them in completely different
+	// orders (reversed vs shuffled by stride), so streams never recur.
+	n := 300
+	for i := 0; i < n; i++ {
+		tr.Append(trace.Event{Kind: trace.KindWrite, Node: 0, Block: mem.BlockAddr(i * 64)})
+	}
+	for i := 0; i < n; i++ {
+		tr.Append(trace.Event{Kind: trace.KindConsumption, Node: 1, Block: mem.BlockAddr(i * 64), Producer: 0})
+	}
+	for i := n - 1; i >= 0; i-- {
+		tr.Append(trace.Event{Kind: trace.KindConsumption, Node: 2, Block: mem.BlockAddr(i * 64), Producer: 0})
+	}
+	res := s.Run(tr)
+	if res.Coverage() > 0.2 {
+		t.Fatalf("coverage on uncorrelated orders = %v, want small", res.Coverage())
+	}
+}
+
+func TestSystemWriteInvalidatesEverywhere(t *testing.T) {
+	cfg := smallSystemConfig()
+	s := NewSystem(cfg)
+	// Node 1 records order A,B,C. Node 2 misses on A, streams B,C. A write
+	// to B by node 3 invalidates node 2's streamed copy, so node 2's read
+	// of B is NOT covered.
+	a, b, c := mem.BlockAddr(0), mem.BlockAddr(64), mem.BlockAddr(128)
+	for _, blk := range []mem.BlockAddr{a, b, c} {
+		s.Consumption(trace.Event{Kind: trace.KindConsumption, Node: 1, Block: blk})
+	}
+	if covered := s.Consumption(trace.Event{Kind: trace.KindConsumption, Node: 2, Block: a}); covered {
+		t.Fatal("head miss cannot be covered")
+	}
+	s.Write(trace.Event{Kind: trace.KindWrite, Node: 3, Block: b})
+	if covered := s.Consumption(trace.Event{Kind: trace.KindConsumption, Node: 2, Block: b}); covered {
+		t.Fatal("invalidated streamed block must not be covered")
+	}
+	if covered := s.Consumption(trace.Event{Kind: trace.KindConsumption, Node: 2, Block: c}); !covered {
+		t.Fatal("unaffected streamed block should still be covered")
+	}
+}
+
+func TestSystemCMOBCapacityLimitsCoverage(t *testing.T) {
+	// With a CMOB far smaller than the working set, the recorded order is
+	// overwritten before the next sharer follows it, so coverage collapses
+	// (the mechanism behind Figure 10).
+	big := smallSystemConfig()
+	small := smallSystemConfig()
+	small.CMOBEntries = 16
+
+	length := 2000
+	resBig := NewSystem(big).Run(migratoryTrace(4, length))
+	resSmall := NewSystem(small).Run(migratoryTrace(4, length))
+	if resSmall.Coverage() >= resBig.Coverage()/2 {
+		t.Fatalf("small CMOB coverage %v not much less than unlimited %v",
+			resSmall.Coverage(), resBig.Coverage())
+	}
+}
+
+func TestSystemTrafficAccounting(t *testing.T) {
+	cfg := smallSystemConfig()
+	s := NewSystem(cfg)
+	res := s.Run(migratoryTrace(4, 100))
+	tr := res.Traffic
+	if tr.PointerUpdateBytes == 0 {
+		t.Fatal("pointer updates should be charged")
+	}
+	if tr.StreamAddressBytes == 0 || tr.StreamRequestBytes == 0 {
+		t.Fatal("stream address/request traffic should be charged")
+	}
+	if tr.BaseBytes == 0 {
+		t.Fatal("base traffic should be charged")
+	}
+	// Base traffic per consumption is request + block + header bytes.
+	wantBase := res.Consumptions * uint64(requestMessageBytes+cfg.Geometry.BlockSize+dataHeaderBytes)
+	if tr.BaseBytes != wantBase {
+		t.Fatalf("BaseBytes = %d, want %d", tr.BaseBytes, wantBase)
+	}
+	if tr.OverheadRatio() <= 0 {
+		t.Fatal("overhead ratio should be positive")
+	}
+	// For perfectly correlated streams the overhead should be a modest
+	// fraction of base traffic (the paper reports 16%-57%).
+	if tr.OverheadRatio() > 1.0 {
+		t.Fatalf("overhead ratio = %v, unexpectedly high for perfect streams", tr.OverheadRatio())
+	}
+}
+
+func TestSystemStreamLengthHistogram(t *testing.T) {
+	cfg := smallSystemConfig()
+	s := NewSystem(cfg)
+	res := s.Run(migratoryTrace(4, 300))
+	if res.StreamLengths.Total() == 0 {
+		t.Fatal("stream length histogram should not be empty")
+	}
+	// The dominant streams should be long (hundreds of hits).
+	if res.StreamLengths.Mean() < 50 {
+		t.Fatalf("mean stream length = %v, want long streams", res.StreamLengths.Mean())
+	}
+}
+
+func TestSystemResultHelpers(t *testing.T) {
+	r := Result{Consumptions: 200, Covered: 100, Discards: 50}
+	if r.Coverage() != 0.5 || r.DiscardRate() != 0.25 {
+		t.Fatalf("Coverage/DiscardRate = %v/%v", r.Coverage(), r.DiscardRate())
+	}
+	if (Result{}).Coverage() != 0 || (Result{}).DiscardRate() != 0 {
+		t.Fatal("empty result should report zeros")
+	}
+	if r.String() == "" {
+		t.Fatal("String should not be empty")
+	}
+	tr := Traffic{}
+	if tr.OverheadRatio() != 0 {
+		t.Fatal("zero base traffic should give zero ratio")
+	}
+}
+
+func TestSystemPanicsOnBadConfigOrNode(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewSystem with invalid config should panic")
+			}
+		}()
+		NewSystem(Config{})
+	}()
+	s := NewSystem(smallSystemConfig())
+	defer func() {
+		if recover() == nil {
+			t.Error("consumption from out-of-range node should panic")
+		}
+	}()
+	s.Consumption(trace.Event{Kind: trace.KindConsumption, Node: 99, Block: 0})
+}
+
+func TestSystemNameAndAccessors(t *testing.T) {
+	s := NewSystem(smallSystemConfig())
+	if s.Name() != "TSE" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+	if s.Config().Nodes != 4 {
+		t.Fatal("Config accessor wrong")
+	}
+	if s.Engine(0) == nil || s.CMOB(0) == nil {
+		t.Fatal("accessors should not return nil")
+	}
+}
+
+func TestConfigValidateAndHelpers(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{},
+		{Nodes: 4, Geometry: mem.DefaultGeometry(), StreamQueues: 0, ComparedStreams: 1, Lookahead: 1},
+		{Nodes: 4, Geometry: mem.DefaultGeometry(), StreamQueues: 1, ComparedStreams: 0, Lookahead: 1},
+		{Nodes: 4, Geometry: mem.DefaultGeometry(), StreamQueues: 1, ComparedStreams: 1, Lookahead: 0},
+		{Nodes: 4, Geometry: mem.DefaultGeometry(), StreamQueues: 1, ComparedStreams: 1, Lookahead: 1, CMOBEntries: -1},
+		{Nodes: 100, Geometry: mem.DefaultGeometry(), StreamQueues: 1, ComparedStreams: 1, Lookahead: 1},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) should fail", c)
+		}
+	}
+	cfg := DefaultConfig()
+	if cfg.CMOBBytes() != cfg.CMOBEntries*CMOBEntryBytes {
+		t.Fatal("CMOBBytes wrong")
+	}
+	if cfg.SVBBytes() != 32*64 {
+		t.Fatalf("SVBBytes = %d, want 2048", cfg.SVBBytes())
+	}
+	if cfg.fifoCapacity() != 16 {
+		t.Fatalf("fifoCapacity = %d, want 2*lookahead", cfg.fifoCapacity())
+	}
+	cfg.FIFOCapacity = 5
+	if cfg.fifoCapacity() != 5 {
+		t.Fatal("explicit FIFO capacity should be used")
+	}
+}

@@ -1,0 +1,254 @@
+// Package workload provides synthetic shared-memory workload generators
+// standing in for the applications of Table 2: the scientific codes em3d,
+// moldyn and ocean, the OLTP workloads (TPC-C on DB2 and Oracle) and the web
+// server workloads (SPECweb99 on Apache and Zeus).
+//
+// The real applications (and the Simics full-system environment that ran
+// them) are not available, so each generator reproduces the *sharing
+// behaviour* the paper measures rather than the computation: which blocks
+// are written by which node, in what order other nodes then read them, how
+// repetitive those orders are across iterations or transactions, how long
+// the recurring streams are, and how much uncorrelated traffic surrounds
+// them. The calibration targets are the paper's own characterisation:
+// Figure 6 (fraction of temporally correlated consumptions), Figure 13
+// (stream length distribution) and Table 3 (consumption MLP). DESIGN.md
+// documents the substitution in detail.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"tsm/internal/mem"
+)
+
+// Class distinguishes the two halves of the application suite.
+type Class int
+
+const (
+	// Scientific covers em3d, moldyn and ocean.
+	Scientific Class = iota
+	// Commercial covers the OLTP and web server workloads.
+	Commercial
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	if c == Commercial {
+		return "commercial"
+	}
+	return "scientific"
+}
+
+// Config is the common generator configuration.
+type Config struct {
+	// Nodes is the number of DSM nodes (16 in the paper).
+	Nodes int
+	// Seed makes generation deterministic.
+	Seed int64
+	// Scale multiplies the default problem size; tests use small scales,
+	// the benchmark harness uses 1.0.
+	Scale float64
+	// Geometry supplies the block size.
+	Geometry mem.Geometry
+}
+
+// DefaultConfig returns a 16-node configuration at full scale.
+func DefaultConfig() Config {
+	return Config{Nodes: 16, Seed: 1, Scale: 1.0, Geometry: mem.DefaultGeometry()}
+}
+
+// normalize fills in zero fields with defaults.
+func (c Config) normalize() Config {
+	if c.Nodes <= 0 {
+		c.Nodes = 16
+	}
+	if c.Scale <= 0 {
+		c.Scale = 1.0
+	}
+	if c.Geometry.BlockSize == 0 {
+		c.Geometry = mem.DefaultGeometry()
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// scaled returns max(min, int(base*scale)).
+func scaled(base int, scale float64, min int) int {
+	v := int(float64(base) * scale)
+	if v < min {
+		return min
+	}
+	return v
+}
+
+// TimingProfile carries the per-workload characteristics the timing model
+// needs. The stall-fraction targets are taken from Figure 14's baseline
+// breakdown and the MLP/lookahead values from Table 3.
+type TimingProfile struct {
+	// BusyFraction is the fraction of baseline execution time spent
+	// committing instructions.
+	BusyFraction float64
+	// OtherStallFraction is the fraction spent on non-coherent stalls
+	// (private misses, pipeline stalls).
+	OtherStallFraction float64
+	// CoherentStallFraction is the fraction spent stalled on coherent
+	// read misses — the component TSE attacks.
+	CoherentStallFraction float64
+	// MLP is the consumption memory-level parallelism (average coherent
+	// read misses outstanding when at least one is outstanding).
+	MLP float64
+	// Lookahead is the stream lookahead Table 3 derives for the workload.
+	Lookahead int
+}
+
+// Validate checks that the fractions form a distribution.
+func (p TimingProfile) Validate() error {
+	sum := p.BusyFraction + p.OtherStallFraction + p.CoherentStallFraction
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("workload: timing fractions sum to %v, want 1.0", sum)
+	}
+	if p.MLP < 1 {
+		return fmt.Errorf("workload: MLP %v < 1", p.MLP)
+	}
+	if p.Lookahead <= 0 {
+		return fmt.Errorf("workload: lookahead must be positive")
+	}
+	return nil
+}
+
+// Generator produces the global interleaved access stream of one workload.
+type Generator interface {
+	// Name returns the workload name as used in the paper's figures.
+	Name() string
+	// Class returns the workload class.
+	Class() Class
+	// Generate produces the globally ordered access stream.
+	Generate() []mem.Access
+	// Timing returns the workload's timing profile.
+	Timing() TimingProfile
+}
+
+// Spec describes one registered workload.
+type Spec struct {
+	// Name is the canonical lower-case name ("em3d", "db2", ...).
+	Name string
+	// Class is the workload class.
+	Class Class
+	// Parameters summarises the Table 2 configuration being modelled.
+	Parameters string
+	// New constructs a generator.
+	New func(Config) Generator
+}
+
+// Registry returns every workload in the paper's presentation order.
+func Registry() []Spec {
+	return []Spec{
+		{Name: "em3d", Class: Scientific,
+			Parameters: "400K nodes, degree 2, span 5, 15% remote",
+			New:        func(c Config) Generator { return NewEM3D(c) }},
+		{Name: "moldyn", Class: Scientific,
+			Parameters: "19652 molecules, boxsize 17, 2.56M max interactions",
+			New:        func(c Config) Generator { return NewMoldyn(c) }},
+		{Name: "ocean", Class: Scientific,
+			Parameters: "514x514 grid, 9600s relaxations, 20K res., err. tol. 1e-07",
+			New:        func(c Config) Generator { return NewOcean(c) }},
+		{Name: "apache", Class: Commercial,
+			Parameters: "16K connections, fastCGI, worker threading model",
+			New:        func(c Config) Generator { return NewWebServer(c, "Apache") }},
+		{Name: "db2", Class: Commercial,
+			Parameters: "100 warehouses (10 GB), 64 clients, 450 MB buffer pool",
+			New:        func(c Config) Generator { return NewOLTP(c, "DB2") }},
+		{Name: "oracle", Class: Commercial,
+			Parameters: "100 warehouses (10 GB), 16 clients, 1.4 GB SGA",
+			New:        func(c Config) Generator { return NewOLTP(c, "Oracle") }},
+		{Name: "zeus", Class: Commercial,
+			Parameters: "16K connections, fastCGI",
+			New:        func(c Config) Generator { return NewWebServer(c, "Zeus") }},
+	}
+}
+
+// Names returns the registered workload names in order.
+func Names() []string {
+	specs := Registry()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// ByName looks up a workload by its canonical name.
+func ByName(name string) (Spec, bool) {
+	for _, s := range Registry() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// interleave merges per-node access slices into a single global order by
+// taking chunks from each node in round-robin fashion, approximating the
+// simultaneous progress of the nodes within a phase. chunk controls how many
+// consecutive accesses a node performs before the next node runs.
+func interleave(perNode [][]mem.Access, chunk int, rng *rand.Rand) []mem.Access {
+	if chunk <= 0 {
+		chunk = 8
+	}
+	total := 0
+	idx := make([]int, len(perNode))
+	for _, s := range perNode {
+		total += len(s)
+	}
+	out := make([]mem.Access, 0, total)
+	order := make([]int, len(perNode))
+	for i := range order {
+		order[i] = i
+	}
+	for len(out) < total {
+		// Shuffle node visit order each round so no node is always first.
+		if rng != nil {
+			rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		}
+		progressed := false
+		for _, n := range order {
+			s := perNode[n]
+			if idx[n] >= len(s) {
+				continue
+			}
+			end := idx[n] + chunk
+			if end > len(s) {
+				end = len(s)
+			}
+			out = append(out, s[idx[n]:end]...)
+			idx[n] = end
+			progressed = true
+		}
+		if !progressed {
+			break
+		}
+	}
+	return out
+}
+
+// blockAddr builds a block-aligned address within a named region. Regions
+// keep the different data structures of a workload from aliasing.
+func blockAddr(g mem.Geometry, region int, index int) mem.Addr {
+	const regionBits = 32
+	return mem.Addr(uint64(region)<<regionBits | uint64(index)*uint64(g.BlockSize))
+}
+
+// sortedKeys returns the keys of a map in sorted order (deterministic
+// iteration for generation).
+func sortedKeys(m map[int]struct{}) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

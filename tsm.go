@@ -1,0 +1,236 @@
+// Package tsm is the public facade of the Temporal Streaming of Shared
+// Memory reproduction. It wraps the internal packages — workload generation,
+// the functional coherence engine, the Temporal Streaming Engine (TSE), the
+// baseline prefetchers, the trace analyses and the DSM timing model — behind
+// a small API suitable for the runnable examples and for downstream users
+// who want to evaluate temporal streaming on their own consumption traces.
+//
+// The typical flow is:
+//
+//	trace, gen, err := tsm.GenerateTrace("db2", tsm.Options{Nodes: 16, Scale: 0.25})
+//	report, err := tsm.EvaluateTSE(trace, gen, tsm.Options{Nodes: 16})
+//	fmt.Println(report)
+//
+// or, to regenerate one of the paper's tables or figures directly:
+//
+//	table, err := tsm.RunExperiment("fig12", tsm.Options{Scale: 0.25})
+//	fmt.Println(table)
+package tsm
+
+import (
+	"fmt"
+	"strings"
+
+	"tsm/internal/analysis"
+	"tsm/internal/coherence"
+	"tsm/internal/config"
+	"tsm/internal/experiments"
+	"tsm/internal/prefetch"
+	"tsm/internal/timing"
+	"tsm/internal/trace"
+	"tsm/internal/tse"
+	"tsm/internal/workload"
+)
+
+// Options control workload generation and model evaluation.
+type Options struct {
+	// Nodes is the number of DSM nodes (default 16, as in the paper).
+	Nodes int
+	// Scale scales the synthetic problem sizes (default 1.0).
+	Scale float64
+	// Seed makes generation deterministic (default 1).
+	Seed int64
+	// Lookahead overrides the per-workload stream lookahead (0 = use the
+	// workload's Table 3 value).
+	Lookahead int
+}
+
+func (o Options) normalize() Options {
+	if o.Nodes <= 0 {
+		o.Nodes = 16
+	}
+	if o.Scale <= 0 {
+		o.Scale = 1.0
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Workloads returns the names of the seven workloads of the paper's suite in
+// presentation order.
+func Workloads() []string { return workload.Names() }
+
+// Experiments returns the identifiers of every reproducible table and figure.
+func Experiments() []string {
+	var out []string
+	for _, e := range experiments.All() {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// Trace is a globally ordered consumption/write event stream.
+type Trace = trace.Trace
+
+// Generator produces workload access streams; it also carries the
+// workload's timing profile.
+type Generator = workload.Generator
+
+// GenerateTrace builds the named workload at the given options, runs it
+// through the functional coherence engine, and returns the classified trace
+// together with the generator (whose Timing profile the timing model needs).
+func GenerateTrace(name string, opts Options) (*Trace, Generator, error) {
+	opts = opts.normalize()
+	spec, ok := workload.ByName(strings.ToLower(name))
+	if !ok {
+		return nil, nil, fmt.Errorf("tsm: unknown workload %q (known: %s)", name, strings.Join(Workloads(), ", "))
+	}
+	gen := spec.New(workload.Config{Nodes: opts.Nodes, Seed: opts.Seed, Scale: opts.Scale})
+	eng := coherence.New(coherence.Config{Nodes: opts.Nodes, Geometry: config.DefaultSystem().Geometry, PointersPerEntry: 2})
+	return eng.Run(gen.Generate()), gen, nil
+}
+
+// Report is a compact evaluation summary for one model on one trace.
+type Report struct {
+	// Model names the evaluated technique ("TSE", "Stride", "GHB G/AC"...).
+	Model string
+	// Consumptions is the number of coherent read misses evaluated.
+	Consumptions uint64
+	// Coverage is the fraction of consumptions eliminated.
+	Coverage float64
+	// Discards is the number of erroneously fetched blocks as a fraction
+	// of consumptions.
+	Discards float64
+	// Speedup is the timing-model speedup over the baseline system
+	// (only set by EvaluateTSE).
+	Speedup float64
+	// SpeedupCI is the 95% confidence half-width of the speedup.
+	SpeedupCI float64
+}
+
+// String renders the report in one line.
+func (r Report) String() string {
+	s := fmt.Sprintf("%-8s consumptions=%d coverage=%.1f%% discards=%.1f%%",
+		r.Model, r.Consumptions, 100*r.Coverage, 100*r.Discards)
+	if r.Speedup > 0 {
+		s += fmt.Sprintf(" speedup=%.2f (±%.3f)", r.Speedup, r.SpeedupCI)
+	}
+	return s
+}
+
+// tseConfig derives the paper's TSE configuration for the options and
+// generator.
+func tseConfig(gen Generator, opts Options) tse.Config {
+	cfg := config.DefaultSystem().DefaultTSE()
+	cfg.Nodes = opts.Nodes
+	if opts.Lookahead > 0 {
+		cfg.Lookahead = opts.Lookahead
+	} else if gen != nil {
+		cfg.Lookahead = gen.Timing().Lookahead
+	}
+	return cfg
+}
+
+// EvaluateTSE runs the paper's TSE configuration over a trace: the
+// trace-driven coverage/discard model plus the timing model (baseline vs.
+// TSE) for the speedup.
+func EvaluateTSE(tr *Trace, gen Generator, opts Options) (Report, error) {
+	opts = opts.normalize()
+	if tr == nil || gen == nil {
+		return Report{}, fmt.Errorf("tsm: EvaluateTSE requires a trace and a generator")
+	}
+	cfg := tseConfig(gen, opts)
+	cov, _ := analysis.EvaluateTSE(cfg, tr)
+
+	sys := config.DefaultSystem()
+	sys.Nodes = opts.Nodes
+	params := timing.Params{System: sys, Profile: gen.Timing(), Nodes: opts.Nodes}
+	base, err := timing.Simulate(tr, params)
+	if err != nil {
+		return Report{}, err
+	}
+	params.TSE = &cfg
+	withTSE, err := timing.Simulate(tr, params)
+	if err != nil {
+		return Report{}, err
+	}
+	speedup := timing.Speedup(base, withTSE)
+	_, ci := timing.SpeedupConfidence(base, withTSE)
+	return Report{
+		Model:        "TSE",
+		Consumptions: cov.Consumptions,
+		Coverage:     cov.Coverage(),
+		Discards:     cov.DiscardRate(),
+		Speedup:      speedup,
+		SpeedupCI:    ci,
+	}, nil
+}
+
+// ComparePrefetchers evaluates the stride stream buffer, both GHB variants
+// and TSE on the same trace — the Figure 12 comparison — and returns one
+// report per technique, in that order.
+func ComparePrefetchers(tr *Trace, gen Generator, opts Options) ([]Report, error) {
+	opts = opts.normalize()
+	if tr == nil {
+		return nil, fmt.Errorf("tsm: ComparePrefetchers requires a trace")
+	}
+	var reports []Report
+
+	strideCfg := prefetch.DefaultStrideConfig()
+	strideCfg.Nodes = opts.Nodes
+	models := []prefetch.Model{
+		prefetch.NewStride(strideCfg),
+	}
+	gdc := prefetch.DefaultGHBConfig(prefetch.GDC)
+	gdc.Nodes = opts.Nodes
+	gac := prefetch.DefaultGHBConfig(prefetch.GAC)
+	gac.Nodes = opts.Nodes
+	models = append(models, prefetch.NewGHB(gdc), prefetch.NewGHB(gac))
+
+	for _, m := range models {
+		r := analysis.EvaluateModel(m, tr)
+		reports = append(reports, Report{
+			Model: r.Name, Consumptions: r.Consumptions,
+			Coverage: r.Coverage(), Discards: r.DiscardRate(),
+		})
+	}
+
+	cfg := tseConfig(gen, opts)
+	cov, _ := analysis.EvaluateTSE(cfg, tr)
+	reports = append(reports, Report{
+		Model: cov.Name, Consumptions: cov.Consumptions,
+		Coverage: cov.Coverage(), Discards: cov.DiscardRate(),
+	})
+	return reports, nil
+}
+
+// CorrelationOpportunity runs the Figure 6 opportunity analysis and returns
+// the cumulative fraction of consumptions within each temporal correlation
+// distance 1..16.
+func CorrelationOpportunity(tr *Trace, opts Options) []float64 {
+	opts = opts.normalize()
+	res := analysis.CorrelationDistance(tr, opts.Nodes)
+	out := make([]float64, analysis.MaxCorrelationDistance)
+	for d := 1; d <= analysis.MaxCorrelationDistance; d++ {
+		out[d-1] = res.CumulativeFraction(d)
+	}
+	return out
+}
+
+// RunExperiment regenerates one of the paper's tables or figures (see
+// Experiments for the identifiers) and returns its rendered text.
+func RunExperiment(id string, opts Options) (string, error) {
+	opts = opts.normalize()
+	exp, ok := experiments.ByID(id)
+	if !ok {
+		return "", fmt.Errorf("tsm: unknown experiment %q (known: %s)", id, strings.Join(Experiments(), ", "))
+	}
+	w := experiments.NewWorkspace(experiments.Options{Nodes: opts.Nodes, Scale: opts.Scale, Seed: opts.Seed})
+	tbl, err := exp.Run(w)
+	if err != nil {
+		return "", err
+	}
+	return tbl.String(), nil
+}

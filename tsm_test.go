@@ -1,0 +1,104 @@
+package tsm
+
+import (
+	"strings"
+	"testing"
+)
+
+func testOpts() Options {
+	return Options{Nodes: 4, Scale: 0.05, Seed: 9}
+}
+
+func TestWorkloadsAndExperiments(t *testing.T) {
+	if len(Workloads()) != 7 {
+		t.Fatalf("Workloads() = %v", Workloads())
+	}
+	if len(Experiments()) != 12 {
+		t.Fatalf("Experiments() = %v", Experiments())
+	}
+}
+
+func TestGenerateTraceUnknownWorkload(t *testing.T) {
+	if _, _, err := GenerateTrace("nope", testOpts()); err == nil {
+		t.Fatal("unknown workload should error")
+	}
+}
+
+func TestGenerateAndEvaluateTSE(t *testing.T) {
+	tr, gen, err := GenerateTrace("em3d", testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.ConsumptionCount() < 500 {
+		t.Fatalf("trace too small: %d consumptions", tr.ConsumptionCount())
+	}
+	rep, err := EvaluateTSE(tr, gen, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Model != "TSE" || rep.Coverage < 0.5 || rep.Speedup <= 1.0 {
+		t.Fatalf("unexpected em3d report: %+v", rep)
+	}
+	if !strings.Contains(rep.String(), "speedup") {
+		t.Fatal("report string should include the speedup")
+	}
+	if _, err := EvaluateTSE(nil, gen, testOpts()); err == nil {
+		t.Fatal("nil trace should error")
+	}
+}
+
+func TestComparePrefetchers(t *testing.T) {
+	tr, gen, err := GenerateTrace("db2", testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := ComparePrefetchers(tr, gen, testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 4 {
+		t.Fatalf("reports = %d, want 4 (stride, G/DC, G/AC, TSE)", len(reports))
+	}
+	byName := map[string]Report{}
+	for _, r := range reports {
+		byName[r.Model] = r
+	}
+	if byName["TSE"].Coverage <= byName["Stride"].Coverage {
+		t.Fatalf("TSE (%v) should beat stride (%v) on db2", byName["TSE"].Coverage, byName["Stride"].Coverage)
+	}
+	if _, err := ComparePrefetchers(nil, gen, testOpts()); err == nil {
+		t.Fatal("nil trace should error")
+	}
+}
+
+func TestCorrelationOpportunity(t *testing.T) {
+	tr, _, err := GenerateTrace("moldyn", testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve := CorrelationOpportunity(tr, testOpts())
+	if len(curve) != 16 {
+		t.Fatalf("curve has %d points, want 16", len(curve))
+	}
+	if curve[0] < 0.5 {
+		t.Fatalf("moldyn correlation at ±1 = %v, want high", curve[0])
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i] < curve[i-1]-1e-9 {
+			t.Fatal("opportunity curve must be monotone")
+		}
+	}
+}
+
+func TestRunExperiment(t *testing.T) {
+	out, err := RunExperiment("table1", testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "2D torus") {
+		t.Fatalf("table1 output missing interconnect row:\n%s", out)
+	}
+	if _, err := RunExperiment("fig999", testOpts()); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
