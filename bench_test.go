@@ -14,6 +14,7 @@
 package tsm
 
 import (
+	"bytes"
 	"flag"
 	"strconv"
 	"strings"
@@ -21,6 +22,7 @@ import (
 
 	"tsm/internal/analysis"
 	"tsm/internal/experiments"
+	"tsm/internal/stream"
 	"tsm/internal/timing"
 	"tsm/internal/tse"
 	"tsm/internal/workload"
@@ -324,6 +326,159 @@ func BenchmarkAblationCMOBPointers(b *testing.B) {
 			b.ReportMetric(100*cov.DiscardRate(), "discards_pct")
 		})
 	}
+}
+
+// --- Streaming and parallelism benchmarks --------------------------------
+//
+// These measure the internal/stream subsystem: streamed versus materialized
+// model evaluation, the binary codec, node-sharded parallel evaluation, and
+// parallel versus serial experiment batches over a shared Workspace.
+
+// BenchmarkStreamedEvaluation compares evaluating one model over (a) the
+// materialized in-memory trace, (b) a Source iterator over that trace, and
+// (c) a decoded binary stream — the cross-process replay path. All three
+// produce identical results; the deltas are the iterator and codec costs.
+func BenchmarkStreamedEvaluation(b *testing.B) {
+	d, w := ablationData(b)
+	nodes := w.Options().Nodes
+	spec := analysis.BaselineSpecs(nodes)[2] // GHB G/AC, the busiest baseline
+	var encoded bytes.Buffer
+	enc, err := stream.NewWriter(&encoded, stream.Meta{Workload: "db2", Nodes: nodes, Scale: *benchScale, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := stream.Copy(enc, stream.TraceSource(d.Trace)); err != nil {
+		b.Fatal(err)
+	}
+	if err := enc.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("materialized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res := analysis.EvaluateModel(spec.New(), d.Trace)
+			b.ReportMetric(100*res.Coverage(), "coverage_pct")
+		}
+	})
+	b.Run("streamed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := analysis.EvaluateModelStream(spec.New(), stream.TraceSource(d.Trace))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(100*res.Coverage(), "coverage_pct")
+		}
+	})
+	b.Run("streamed-codec", func(b *testing.B) {
+		b.SetBytes(int64(encoded.Len()))
+		for i := 0; i < b.N; i++ {
+			r, err := stream.NewReader(bytes.NewReader(encoded.Bytes()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := analysis.EvaluateModelStream(spec.New(), r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(100*res.Coverage(), "coverage_pct")
+		}
+	})
+}
+
+// BenchmarkShardedEvaluation compares serial and node-sharded parallel
+// evaluation of the per-node-state baselines on one trace. The sharded
+// results are bit-identical; the win is wall-clock.
+func BenchmarkShardedEvaluation(b *testing.B) {
+	d, w := ablationData(b)
+	nodes := w.Options().Nodes
+	spec := analysis.BaselineSpecs(nodes)[2]
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			analysis.EvaluateModel(spec.New(), d.Trace)
+		}
+	})
+	b.Run("sharded", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			analysis.EvaluateModelSharded(spec, d.Trace, nodes)
+		}
+	})
+}
+
+// BenchmarkCodec measures raw encode/decode throughput of the binary trace
+// format.
+func BenchmarkCodec(b *testing.B) {
+	d, _ := ablationData(b)
+	meta := stream.Meta{Workload: "db2", Nodes: 16, Scale: *benchScale, Seed: 1}
+	var encoded bytes.Buffer
+	w, err := stream.NewWriter(&encoded, meta)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := stream.Copy(w, stream.TraceSource(d.Trace)); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	bytesPerEvent := float64(encoded.Len()) / float64(d.Trace.Len())
+	b.Run("encode", func(b *testing.B) {
+		b.SetBytes(int64(encoded.Len()))
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			w, err := stream.NewWriter(&buf, meta)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := stream.Copy(w, stream.TraceSource(d.Trace)); err != nil {
+				b.Fatal(err)
+			}
+			if err := w.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(bytesPerEvent, "bytes/event")
+	})
+	b.Run("decode", func(b *testing.B) {
+		b.SetBytes(int64(encoded.Len()))
+		for i := 0; i < b.N; i++ {
+			r, err := stream.NewReader(bytes.NewReader(encoded.Bytes()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := stream.Collect(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(bytesPerEvent, "bytes/event")
+	})
+}
+
+// BenchmarkWorkspaceExperiments runs the full table/figure suite over a
+// fresh shared Workspace, serially versus in parallel (parallel trace
+// generation via Prefetch, then concurrent experiment drivers). The
+// parallel path must win on a multi-core machine; the tables are identical.
+func BenchmarkWorkspaceExperiments(b *testing.B) {
+	exps := experiments.All()
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			w := benchWorkspace()
+			for _, exp := range exps {
+				if _, err := exp.Run(w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			w := benchWorkspace()
+			if err := w.Prefetch(); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := experiments.RunAll(w, exps); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkTimingModel measures the raw cost of the DSM timing model on one

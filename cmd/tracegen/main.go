@@ -1,10 +1,13 @@
 // Command tracegen generates the consumption/write event trace of one
-// synthetic workload and either writes it to a binary trace file (readable
-// with internal/trace.Reader) or prints a summary.
+// synthetic workload. With -o it streams the events straight into a
+// versioned binary trace file (.tsm, see internal/stream) as the functional
+// coherence engine classifies them — the trace is never held in memory —
+// embedding the generation metadata so cmd/tsesim (or any other process)
+// can evaluate the exact same trace with `tsesim -i`.
 //
 // Usage:
 //
-//	tracegen -workload db2 -scale 0.5 -o db2.trace
+//	tracegen -workload db2 -scale 0.5 -o db2.tsm
 //	tracegen -workload em3d -summary
 package main
 
@@ -16,6 +19,7 @@ import (
 
 	"tsm/internal/coherence"
 	"tsm/internal/mem"
+	"tsm/internal/stream"
 	"tsm/internal/trace"
 	"tsm/internal/workload"
 )
@@ -26,7 +30,7 @@ func main() {
 		nodes   = flag.Int("nodes", 16, "number of DSM nodes")
 		scale   = flag.Float64("scale", 1.0, "workload scale factor")
 		seed    = flag.Int64("seed", 1, "generation seed")
-		out     = flag.String("o", "", "output trace file (omit to skip writing)")
+		out     = flag.String("o", "", "output trace file (.tsm; omit to skip writing)")
 		summary = flag.Bool("summary", true, "print a trace summary")
 	)
 	flag.Parse()
@@ -39,27 +43,66 @@ func main() {
 	gen := spec.New(workload.Config{Nodes: *nodes, Seed: *seed, Scale: *scale})
 	eng := coherence.New(coherence.Config{Nodes: *nodes, Geometry: mem.DefaultGeometry(), PointersPerEntry: 2})
 	accesses := gen.Generate()
-	tr := eng.Run(accesses)
 
-	if *summary {
-		printSummary(spec, gen, accesses, tr, eng, *nodes)
+	// The summary's per-node distribution is accumulated on the fly, so the
+	// trace streams from the engine to the file without materializing.
+	var events uint64
+	perNode := make([]int, *nodes)
+	observe := func(e trace.Event) {
+		events++
+		if e.Kind == trace.KindConsumption && e.Node >= 0 && int(e.Node) < len(perNode) {
+			perNode[e.Node]++
+		}
 	}
 
 	if *out != "" {
-		if err := writeTrace(*out, tr); err != nil {
+		meta := stream.Meta{Workload: spec.Name, Nodes: *nodes, Scale: *scale, Seed: *seed}
+		if err := writeStreamed(*out, meta, eng, accesses, observe); err != nil {
 			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote %d events to %s\n", tr.Len(), *out)
+	} else {
+		eng.RunStream(accesses, func(e trace.Event) error { observe(e); return nil })
+	}
+
+	if *summary {
+		printSummary(spec, gen, len(accesses), events, perNode, eng)
+	}
+	if *out != "" {
+		fmt.Printf("wrote %d events to %s\n", events, *out)
 	}
 }
 
-func printSummary(spec workload.Spec, gen workload.Generator, accesses []mem.Access, tr *trace.Trace, eng *coherence.Engine, nodes int) {
+// writeStreamed pipes the engine's event stream into a trace file, feeding
+// each event to observe on the way past.
+func writeStreamed(path string, meta stream.Meta, eng *coherence.Engine, accesses []mem.Access, observe func(trace.Event)) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := stream.NewWriter(f, meta)
+	if err != nil {
+		return err
+	}
+	if err := eng.RunStream(accesses, func(e trace.Event) error {
+		observe(e)
+		return w.Write(e)
+	}); err != nil {
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func printSummary(spec workload.Spec, gen workload.Generator, accesses int, events uint64, perNode []int, eng *coherence.Engine) {
 	stats := eng.Stats()
 	fmt.Printf("workload:      %s (%s)\n", spec.Name, spec.Class)
 	fmt.Printf("parameters:    %s\n", spec.Parameters)
-	fmt.Printf("accesses:      %d\n", len(accesses))
-	fmt.Printf("trace events:  %d\n", tr.Len())
+	fmt.Printf("accesses:      %d\n", accesses)
+	fmt.Printf("trace events:  %d\n", events)
 	fmt.Printf("consumptions:  %d\n", stats.Consumptions)
 	fmt.Printf("spin misses:   %d (excluded)\n", stats.SpinMisses)
 	fmt.Printf("private misses:%d\n", stats.PrivateMisses)
@@ -68,30 +111,10 @@ func printSummary(spec workload.Spec, gen workload.Generator, accesses []mem.Acc
 	fmt.Printf("timing profile: busy=%.2f other=%.2f coherent=%.2f MLP=%.1f lookahead=%d\n",
 		prof.BusyFraction, prof.OtherStallFraction, prof.CoherentStallFraction, prof.MLP, prof.Lookahead)
 
-	perNode := tr.NodeConsumptions(nodes)
-	counts := make([]int, 0, nodes)
-	for _, evs := range perNode {
-		counts = append(counts, len(evs))
-	}
+	counts := append([]int(nil), perNode...)
 	sort.Ints(counts)
 	if len(counts) > 0 {
 		fmt.Printf("consumptions per node: min=%d median=%d max=%d\n",
 			counts[0], counts[len(counts)/2], counts[len(counts)-1])
 	}
-}
-
-func writeTrace(path string, tr *trace.Trace) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	w, err := trace.NewWriter(f)
-	if err != nil {
-		return err
-	}
-	if err := w.WriteTrace(tr); err != nil {
-		return err
-	}
-	return w.Flush()
 }

@@ -1,12 +1,20 @@
 // Command tsesim regenerates the paper's tables and figures on the synthetic
-// workload suite.
+// workload suite, or replays a trace file produced by cmd/tracegen.
 //
 // Usage:
 //
 //	tsesim -experiment fig12                 # one experiment, all workloads
 //	tsesim -experiment all -scale 0.25       # every table and figure, faster
 //	tsesim -experiment fig14 -workloads db2,oracle
+//	tsesim -i db2.tsm                        # evaluate TSE on a trace file
+//	tsesim -i db2.tsm -compare               # ...all Figure 12 models
 //	tsesim -list                             # list experiments and workloads
+//
+// With -i the evaluation uses the generation metadata embedded in the trace
+// file, so the report is identical to evaluating the trace in the process
+// that generated it. Batches of experiments run in parallel over a shared
+// workspace (each workload's trace is generated exactly once); -serial
+// restores the one-at-a-time path.
 //
 // The output of each experiment is a plain-text table whose rows mirror the
 // corresponding table or figure in the paper; EXPERIMENTS.md records a
@@ -20,6 +28,7 @@ import (
 	"strings"
 	"time"
 
+	"tsm"
 	"tsm/internal/experiments"
 	"tsm/internal/workload"
 )
@@ -31,6 +40,9 @@ func main() {
 		nodes        = flag.Int("nodes", 16, "number of DSM nodes")
 		scale        = flag.Float64("scale", 1.0, "workload scale factor")
 		seed         = flag.Int64("seed", 1, "workload generation seed")
+		input        = flag.String("i", "", "evaluate a trace file written by tracegen -o instead of running experiments")
+		compare      = flag.Bool("compare", false, "with -i: evaluate all Figure 12 models, not just TSE")
+		serial       = flag.Bool("serial", false, "run experiments one at a time instead of in parallel")
 		list         = flag.Bool("list", false, "list available experiments and workloads, then exit")
 		quiet        = flag.Bool("quiet", false, "suppress progress messages")
 	)
@@ -44,6 +56,14 @@ func main() {
 		fmt.Println("workloads:")
 		for _, s := range workload.Registry() {
 			fmt.Printf("  %-8s %-11s %s\n", s.Name, s.Class.String(), s.Parameters)
+		}
+		return
+	}
+
+	if *input != "" {
+		if err := replayTrace(*input, *compare, *quiet); err != nil {
+			fmt.Fprintf(os.Stderr, "tsesim: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -78,6 +98,22 @@ func main() {
 	}
 
 	w := experiments.NewWorkspace(opts)
+	if !*serial && len(selected) > 1 {
+		start := time.Now()
+		tables, err := experiments.RunAll(w, selected)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tsesim: %v\n", err)
+			os.Exit(1)
+		}
+		for _, tbl := range tables {
+			fmt.Println(tbl.String())
+		}
+		if !*quiet {
+			fmt.Printf("(%d experiments completed in parallel in %v)\n",
+				len(tables), time.Since(start).Round(time.Millisecond))
+		}
+		return
+	}
 	for _, exp := range selected {
 		start := time.Now()
 		tbl, err := exp.Run(w)
@@ -90,4 +126,42 @@ func main() {
 			fmt.Printf("(%s completed in %v)\n\n", exp.ID, time.Since(start).Round(time.Millisecond))
 		}
 	}
+}
+
+// replayTrace evaluates a trace file through the public facade, using the
+// embedded metadata to rebuild the generator, so the reports match the
+// generating process bit for bit.
+func replayTrace(path string, compare, quiet bool) error {
+	start := time.Now()
+	tr, meta, err := tsm.LoadTrace(path)
+	if err != nil {
+		return err
+	}
+	gen, err := tsm.GeneratorFor(meta)
+	if err != nil {
+		return err
+	}
+	opts := tsm.OptionsFor(meta)
+	if !quiet {
+		fmt.Printf("trace: %s (%d events, %d consumptions)\n", meta, tr.Len(), tr.ConsumptionCount())
+	}
+	if compare {
+		reports, err := tsm.EvaluateAll(tr, gen, opts)
+		if err != nil {
+			return err
+		}
+		for _, r := range reports {
+			fmt.Println(r)
+		}
+	} else {
+		rep, err := tsm.EvaluateTSE(tr, gen, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep)
+	}
+	if !quiet {
+		fmt.Printf("(replay completed in %v)\n", time.Since(start).Round(time.Millisecond))
+	}
+	return nil
 }

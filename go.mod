@@ -1,0 +1,3 @@
+module tsm
+
+go 1.24

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"io"
+
+	"tsm/internal/prefetch"
+	"tsm/internal/stream"
+	"tsm/internal/trace"
+	"tsm/internal/tse"
+)
+
+// EvaluateModelStream is EvaluateModel over a stream.Source: the model
+// observes the events in stream order without the trace ever being
+// materialized, so arbitrarily large trace files evaluate in constant
+// memory.
+func EvaluateModelStream(m prefetch.Model, src stream.Source) (CoverageResult, error) {
+	res := CoverageResult{Name: m.Name()}
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return res, err
+		}
+		switch e.Kind {
+		case trace.KindConsumption:
+			res.Consumptions++
+			if m.Consumption(e) {
+				res.Covered++
+			}
+		case trace.KindWrite:
+			m.Write(e)
+		}
+	}
+	res.Fetched, res.Discards = m.Finish()
+	return res, nil
+}
+
+// ModelSpec describes a lazily constructed model for parallel evaluation.
+type ModelSpec struct {
+	// Name identifies the model in comparison tables.
+	Name string
+	// New constructs one replica. Replicas must be independent: the
+	// sharded evaluator builds one per shard.
+	New func() prefetch.Model
+	// PerNodeState marks models whose mutable state is partitioned by
+	// consuming node (writes excepted, which commute across nodes). Such
+	// models are evaluated node-sharded across the worker pool with
+	// results identical to a serial run; others are evaluated serially on
+	// their own worker.
+	PerNodeState bool
+}
+
+// BaselineSpecs returns the Figure 12 baseline prefetchers (stride and both
+// GHB variants) for the given node count. All three keep per-node state.
+func BaselineSpecs(nodes int) []ModelSpec {
+	strideCfg := prefetch.DefaultStrideConfig()
+	strideCfg.Nodes = nodes
+	gdc := prefetch.DefaultGHBConfig(prefetch.GDC)
+	gdc.Nodes = nodes
+	gac := prefetch.DefaultGHBConfig(prefetch.GAC)
+	gac.Nodes = nodes
+	return []ModelSpec{
+		{Name: prefetch.NewStride(strideCfg).Name(), New: func() prefetch.Model { return prefetch.NewStride(strideCfg) }, PerNodeState: true},
+		{Name: prefetch.NewGHB(gdc).Name(), New: func() prefetch.Model { return prefetch.NewGHB(gdc) }, PerNodeState: true},
+		{Name: prefetch.NewGHB(gac).Name(), New: func() prefetch.Model { return prefetch.NewGHB(gac) }, PerNodeState: true},
+	}
+}
+
+// EvaluateModelSharded evaluates one model over a materialized trace using
+// the node-sharded parallel evaluator when the spec allows it, falling back
+// to the serial path otherwise. Results are identical either way.
+func EvaluateModelSharded(spec ModelSpec, tr *trace.Trace, nodes int) CoverageResult {
+	if !spec.PerNodeState {
+		return EvaluateModel(spec.New(), tr)
+	}
+	c := stream.EvaluateShardedTrace(tr, stream.ShardConfig{Nodes: nodes}, func(int) stream.Model {
+		return spec.New()
+	})
+	return CoverageResult{
+		Name:         spec.Name,
+		Consumptions: c.Consumptions,
+		Covered:      c.Covered,
+		Fetched:      c.Fetched,
+		Discards:     c.Discards,
+	}
+}
+
+// EvaluateParallel fans the per-model coverage analyses out over the worker
+// pool — one task per model, each per-node-state model further sharded
+// internally — and merges the results in spec order. The numbers are
+// bit-identical to evaluating each model serially.
+func EvaluateParallel(specs []ModelSpec, tr *trace.Trace, nodes int) []CoverageResult {
+	out, _ := stream.RunOrdered(len(specs), 0, func(i int) (CoverageResult, error) {
+		return EvaluateModelSharded(specs[i], tr, nodes), nil
+	})
+	return out
+}
+
+// EvaluateSuite evaluates the Figure 12 comparison — the three baseline
+// prefetchers and TSE — over the same trace concurrently: the baselines are
+// node-sharded across the pool while TSE (whose directory state is globally
+// coupled and cannot shard without changing results) runs serially on its
+// own worker. Results arrive in presentation order (Stride, G/DC, G/AC,
+// TSE) and are identical to the serial evaluation path.
+func EvaluateSuite(cfg tse.Config, tr *trace.Trace, nodes int) ([]CoverageResult, tse.Result) {
+	specs := BaselineSpecs(nodes)
+	var full tse.Result
+	out, _ := stream.RunOrdered(len(specs)+1, 0, func(i int) (CoverageResult, error) {
+		if i < len(specs) {
+			return EvaluateModelSharded(specs[i], tr, nodes), nil
+		}
+		var cov CoverageResult
+		cov, full = EvaluateTSE(cfg, tr)
+		return cov, nil
+	})
+	return out, full
+}

@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"testing"
+
+	"tsm/internal/coherence"
+	"tsm/internal/mem"
+	"tsm/internal/stream"
+	"tsm/internal/trace"
+	"tsm/internal/tse"
+	"tsm/internal/workload"
+)
+
+// suiteTrace builds a small real workload trace plus the matching TSE
+// configuration.
+func suiteTrace(t *testing.T, name string, nodes int) (*trace.Trace, tse.Config) {
+	t.Helper()
+	spec, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("unknown workload %q", name)
+	}
+	gen := spec.New(workload.Config{Nodes: nodes, Seed: 5, Scale: 0.05})
+	eng := coherence.New(coherence.Config{Nodes: nodes, Geometry: mem.DefaultGeometry(), PointersPerEntry: 2})
+	tr := eng.Run(gen.Generate())
+	cfg := tse.DefaultConfig()
+	cfg.Nodes = nodes
+	cfg.Lookahead = gen.Timing().Lookahead
+	return tr, cfg
+}
+
+func TestEvaluateModelStreamMatchesSerial(t *testing.T) {
+	tr, _ := suiteTrace(t, "oracle", 8)
+	for _, spec := range BaselineSpecs(8) {
+		want := EvaluateModel(spec.New(), tr)
+		got, err := EvaluateModelStream(spec.New(), stream.TraceSource(tr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("%s: streamed %+v, want %+v", spec.Name, got, want)
+		}
+	}
+}
+
+// TestEvaluateParallelMatchesSerial: the parallel, node-sharded evaluation
+// must produce bit-identical coverage numbers to the serial evaluator.
+func TestEvaluateParallelMatchesSerial(t *testing.T) {
+	tr, _ := suiteTrace(t, "db2", 8)
+	specs := BaselineSpecs(8)
+	got := EvaluateParallel(specs, tr, 8)
+	if len(got) != len(specs) {
+		t.Fatalf("got %d results, want %d", len(got), len(specs))
+	}
+	for i, spec := range specs {
+		want := EvaluateModel(spec.New(), tr)
+		if got[i] != want {
+			t.Errorf("%s: parallel %+v, want serial %+v", spec.Name, got[i], want)
+		}
+		if got[i].Name != spec.Name {
+			t.Errorf("result %d named %q, want %q (ordered merge)", i, got[i].Name, spec.Name)
+		}
+	}
+}
+
+// TestEvaluateSuiteMatchesSerial: the whole Figure 12 comparison, run
+// concurrently, must match the serial per-model path including TSE.
+func TestEvaluateSuiteMatchesSerial(t *testing.T) {
+	tr, cfg := suiteTrace(t, "db2", 8)
+	results, full := EvaluateSuite(cfg, tr, 8)
+	if len(results) != 4 {
+		t.Fatalf("got %d results, want 4", len(results))
+	}
+	wantTSE, wantFull := EvaluateTSE(cfg, tr)
+	if results[3] != wantTSE {
+		t.Errorf("TSE: suite %+v, want %+v", results[3], wantTSE)
+	}
+	if full.Covered != wantFull.Covered || full.Consumptions != wantFull.Consumptions ||
+		full.Discards != wantFull.Discards || full.BlocksFetched != wantFull.BlocksFetched {
+		t.Errorf("TSE full result differs: %+v vs %+v", full, wantFull)
+	}
+	for i, spec := range BaselineSpecs(8) {
+		want := EvaluateModel(spec.New(), tr)
+		if results[i] != want {
+			t.Errorf("%s: suite %+v, want %+v", spec.Name, results[i], want)
+		}
+	}
+}

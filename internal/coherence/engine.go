@@ -244,6 +244,17 @@ type Result struct {
 // Access processes one access, updates the caches and directory, appends the
 // corresponding events to tr (if non-nil), and returns the classification.
 func (e *Engine) Access(a mem.Access, tr *trace.Trace) Result {
+	if tr == nil {
+		return e.AccessEmit(a, nil)
+	}
+	return e.AccessEmit(a, tr.Append)
+}
+
+// AccessEmit is Access with a streaming event consumer: instead of appending
+// to an in-memory trace, the classified events (with zero Seq — sequence
+// numbers are the caller's to assign, see RunStream) are handed to emit as
+// they are produced. A nil emit classifies without recording.
+func (e *Engine) AccessEmit(a mem.Access, emit func(trace.Event)) Result {
 	if int(a.Node) < 0 || int(a.Node) >= e.cfg.Nodes {
 		panic(fmt.Sprintf("coherence: access from node %d outside [0,%d)", a.Node, e.cfg.Nodes))
 	}
@@ -253,12 +264,12 @@ func (e *Engine) Access(a mem.Access, tr *trace.Trace) Result {
 	write := a.Type == mem.Write || a.Type == mem.AtomicRMW
 
 	if write {
-		return e.write(a, b, c, tr)
+		return e.write(a, b, c, emit)
 	}
-	return e.read(a, b, c, tr)
+	return e.read(a, b, c, emit)
 }
 
-func (e *Engine) read(a mem.Access, b mem.BlockAddr, c nodeCache, tr *trace.Trace) Result {
+func (e *Engine) read(a mem.Access, b mem.BlockAddr, c nodeCache, emit func(trace.Event)) Result {
 	if c.access(b, false) {
 		e.stats.Hits++
 		return Result{Class: Hit, Block: b}
@@ -273,8 +284,8 @@ func (e *Engine) read(a mem.Access, b mem.BlockAddr, c nodeCache, tr *trace.Trac
 	}
 	if !rd.Coherent {
 		e.stats.PrivateMisses++
-		if tr != nil {
-			tr.Append(trace.Event{Kind: trace.KindReadMiss, Node: a.Node, Block: b, Producer: mem.InvalidNode})
+		if emit != nil {
+			emit(trace.Event{Kind: trace.KindReadMiss, Node: a.Node, Block: b, Producer: mem.InvalidNode})
 		}
 		return Result{Class: PrivateMiss, Block: b, Producer: rd.Producer}
 	}
@@ -283,13 +294,13 @@ func (e *Engine) read(a mem.Access, b mem.BlockAddr, c nodeCache, tr *trace.Trac
 		return Result{Class: SpinMiss, Block: b, Producer: rd.Producer}
 	}
 	e.stats.Consumptions++
-	if tr != nil {
-		tr.Append(trace.Event{Kind: trace.KindConsumption, Node: a.Node, Block: b, Producer: rd.Producer})
+	if emit != nil {
+		emit(trace.Event{Kind: trace.KindConsumption, Node: a.Node, Block: b, Producer: rd.Producer})
 	}
 	return Result{Class: Consumption, Block: b, Producer: rd.Producer}
 }
 
-func (e *Engine) write(a mem.Access, b mem.BlockAddr, c nodeCache, tr *trace.Trace) Result {
+func (e *Engine) write(a mem.Access, b mem.BlockAddr, c nodeCache, emit func(trace.Event)) Result {
 	// A write hit requires a locally modified copy; a hit on a shared copy
 	// is an upgrade, which still visits the directory.
 	hadModified := false
@@ -302,8 +313,8 @@ func (e *Engine) write(a mem.Access, b mem.BlockAddr, c nodeCache, tr *trace.Tra
 	if hadModified {
 		c.access(b, true)
 		e.stats.WriteHits++
-		if tr != nil {
-			tr.Append(trace.Event{Kind: trace.KindWrite, Node: a.Node, Block: b, Producer: mem.InvalidNode})
+		if emit != nil {
+			emit(trace.Event{Kind: trace.KindWrite, Node: a.Node, Block: b, Producer: mem.InvalidNode})
 		}
 		return Result{Class: WriteHit, Block: b}
 	}
@@ -316,8 +327,8 @@ func (e *Engine) write(a mem.Access, b mem.BlockAddr, c nodeCache, tr *trace.Tra
 		e.dir.Evict(a.Node, v.Block, v.Dirty)
 	}
 	e.stats.WriteMisses++
-	if tr != nil {
-		tr.Append(trace.Event{Kind: trace.KindWrite, Node: a.Node, Block: b, Producer: mem.InvalidNode})
+	if emit != nil {
+		emit(trace.Event{Kind: trace.KindWrite, Node: a.Node, Block: b, Producer: mem.InvalidNode})
 	}
 	return Result{Class: WriteMiss, Block: b, Invalidated: wr.Invalidated}
 }
@@ -325,8 +336,36 @@ func (e *Engine) write(a mem.Access, b mem.BlockAddr, c nodeCache, tr *trace.Tra
 // Run processes a whole access stream, returning the generated trace.
 func (e *Engine) Run(accesses []mem.Access) *trace.Trace {
 	tr := &trace.Trace{}
-	for _, a := range accesses {
-		e.Access(a, tr)
-	}
+	e.RunStream(accesses, func(ev trace.Event) error {
+		tr.Events = append(tr.Events, ev)
+		return nil
+	})
 	return tr
+}
+
+// RunStream processes an access stream, emitting classified events (with
+// dense sequence numbers assigned in emission order) to emit instead of
+// materializing a trace. Run is RunStream into an in-memory slice; a caller
+// that only needs to persist or forward the stream never holds more than
+// one event. A non-nil error from emit aborts the run immediately — a dead
+// sink (full disk, closed pipe) must not cost the rest of the generation —
+// and is returned.
+func (e *Engine) RunStream(accesses []mem.Access, emit func(trace.Event) error) error {
+	var seq uint64
+	var emitErr error
+	numbered := func(ev trace.Event) {
+		if emitErr != nil {
+			return
+		}
+		ev.Seq = seq
+		seq++
+		emitErr = emit(ev)
+	}
+	for _, a := range accesses {
+		e.AccessEmit(a, numbered)
+		if emitErr != nil {
+			return emitErr
+		}
+	}
+	return nil
 }

@@ -9,9 +9,11 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"tsm/internal/coherence"
 	"tsm/internal/config"
+	"tsm/internal/stream"
 	"tsm/internal/trace"
 	"tsm/internal/workload"
 )
@@ -116,11 +118,23 @@ type WorkloadData struct {
 }
 
 // Workspace prepares and caches workload traces so that a batch of
-// experiments shares them.
+// experiments shares them. It is safe for concurrent use: each workload's
+// trace is generated exactly once (the first caller generates, concurrent
+// callers block on the same entry), so independent experiments and models
+// can run in parallel over shared traces without regenerating them.
 type Workspace struct {
 	opts   Options
 	system config.SystemConfig
-	data   map[string]*WorkloadData
+
+	mu   sync.Mutex
+	data map[string]*workloadEntry
+}
+
+// workloadEntry guards one workload's lazily generated data.
+type workloadEntry struct {
+	once sync.Once
+	d    *WorkloadData
+	err  error
 }
 
 // NewWorkspace builds a workspace for the given options.
@@ -128,7 +142,7 @@ func NewWorkspace(opts Options) *Workspace {
 	opts = opts.normalize()
 	sys := config.DefaultSystem()
 	sys.Nodes = opts.Nodes
-	return &Workspace{opts: opts, system: sys, data: make(map[string]*WorkloadData)}
+	return &Workspace{opts: opts, system: sys, data: make(map[string]*workloadEntry)}
 }
 
 // Options returns the normalised options.
@@ -156,12 +170,23 @@ func (w *Workspace) WorkloadNames() []string {
 	return out
 }
 
-// Data returns (generating lazily) the trace and generator for a workload.
+// Data returns (generating lazily, exactly once, concurrency-safe) the
+// trace and generator for a workload.
 func (w *Workspace) Data(name string) (*WorkloadData, error) {
 	name = strings.ToLower(name)
-	if d, ok := w.data[name]; ok {
-		return d, nil
+	w.mu.Lock()
+	e, ok := w.data[name]
+	if !ok {
+		e = &workloadEntry{}
+		w.data[name] = e
 	}
+	w.mu.Unlock()
+	e.once.Do(func() { e.d, e.err = w.generate(name) })
+	return e.d, e.err
+}
+
+// generate builds one workload's trace. Called at most once per workload.
+func (w *Workspace) generate(name string) (*WorkloadData, error) {
 	spec, ok := workload.ByName(name)
 	if !ok {
 		known := strings.Join(workload.Names(), ", ")
@@ -183,14 +208,37 @@ func (w *Workspace) Data(name string) (*WorkloadData, error) {
 		PointersPerEntry: 2,
 	})
 	tr := eng.Run(gen.Generate())
-	d := &WorkloadData{
+	return &WorkloadData{
 		Spec:         spec,
 		Generator:    gen,
 		Trace:        tr,
 		Consumptions: tr.ConsumptionCount(),
-	}
-	w.data[name] = d
-	return d, nil
+	}, nil
+}
+
+// Prefetch generates every selected workload's trace, fanned out over the
+// worker pool. Experiments that run afterwards (serially or via RunAll) hit
+// only cached traces. It is an error-reporting convenience: Data remains
+// the unit of sharing.
+func (w *Workspace) Prefetch() error {
+	names := w.WorkloadNames()
+	_, err := stream.RunOrdered(len(names), 0, func(i int) (struct{}, error) {
+		_, err := w.Data(names[i])
+		return struct{}{}, err
+	})
+	return err
+}
+
+// RunAll runs a batch of experiments over the shared workspace with the
+// independent experiments executing in parallel, and returns their tables
+// in input order. Each workload's trace is still generated exactly once
+// (the first experiment to need it generates, the rest share), and every
+// table is identical to a serial exp.Run(w) loop because the drivers only
+// read shared state.
+func RunAll(w *Workspace, exps []Experiment) ([]Table, error) {
+	return stream.RunOrdered(len(exps), 0, func(i int) (Table, error) {
+		return exps[i].Run(w)
+	})
 }
 
 // Runner is the signature of an experiment driver.

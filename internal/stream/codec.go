@@ -1,0 +1,404 @@
+// The binary trace codec. Format (all integers varint-encoded unless noted):
+//
+//	magic   "TSMS" (4 bytes)
+//	version 1 byte (currently Version)
+//	meta    workload name (uvarint length + bytes), nodes (uvarint),
+//	        scale (8 bytes, IEEE 754 little endian), seed (zigzag varint)
+//	chunks  repeated: event count n (uvarint, n > 0), then n events:
+//	          kind (1 byte)
+//	          node (uvarint)
+//	          block delta (zigzag varint, relative to the previous event's
+//	            block within the chunk; the first event of a chunk is
+//	            relative to zero, so chunks decode independently)
+//	          producer+1 (uvarint; mem.InvalidNode encodes as 0)
+//	end     a zero chunk count, then the total event count (uvarint)
+//
+// Sequence numbers are not stored: they are implicit in stream order. Delta
+// encoding matters because consecutive consumptions in a stream are near one
+// another in the address space, so most block deltas fit in one or two
+// bytes instead of eight.
+package stream
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+
+	"tsm/internal/mem"
+	"tsm/internal/trace"
+)
+
+// Magic identifies the streamed trace format (distinct from the legacy
+// fixed-width "TSM1" format in internal/trace).
+var Magic = [4]byte{'T', 'S', 'M', 'S'}
+
+// Version is the current codec version. Readers reject other versions.
+const Version = 1
+
+// DefaultChunkEvents is the number of events buffered per chunk.
+const DefaultChunkEvents = 4096
+
+// maxChunkEvents bounds the per-chunk allocation a reader will make, so a
+// corrupt count cannot trigger a huge allocation.
+const maxChunkEvents = 1 << 20
+
+// maxMetaNodes and maxMetaScale bound the decoded metadata: a corrupt
+// header must fail with ErrCorrupt, not propagate absurd parameters into
+// generator reconstruction (where a huge node count would try to allocate).
+const (
+	maxMetaNodes = 1 << 16
+	maxMetaScale = 1e6
+)
+
+// ErrBadMagic is returned when a stream does not start with Magic.
+var ErrBadMagic = errors.New("stream: bad magic (not a TSMS trace)")
+
+// ErrVersion is returned (wrapped, with the found version) when the codec
+// version is unsupported.
+var ErrVersion = errors.New("stream: unsupported trace version")
+
+// ErrTruncated is returned (wrapped) when a stream ends before its
+// end-of-stream marker and trailer.
+var ErrTruncated = errors.New("stream: truncated trace")
+
+// ErrCorrupt is returned (wrapped) when a structurally invalid value is
+// decoded.
+var ErrCorrupt = errors.New("stream: corrupt trace")
+
+// Meta describes how a trace was generated, so a separate process can
+// reconstruct the matching generator (for timing profiles) and evaluation
+// options without re-running generation.
+type Meta struct {
+	// Workload is the canonical lower-case workload name ("db2", "em3d"...).
+	// Empty for traces that did not come from the workload suite.
+	Workload string
+	// Nodes is the number of DSM nodes the trace was generated with.
+	Nodes int
+	// Scale is the workload scale factor.
+	Scale float64
+	// Seed is the generation seed.
+	Seed int64
+}
+
+// String summarises the metadata in one line.
+func (m Meta) String() string {
+	name := m.Workload
+	if name == "" {
+		name = "(custom)"
+	}
+	return fmt.Sprintf("%s nodes=%d scale=%g seed=%d", name, m.Nodes, m.Scale, m.Seed)
+}
+
+// Writer encodes events into the chunked binary format. It implements Sink;
+// Close emits the end-of-stream marker and trailer, so a Writer that is not
+// closed produces a stream Readers reject as truncated.
+type Writer struct {
+	w       *bufio.Writer
+	chunk   []trace.Event
+	scratch []byte
+	count   uint64
+	perCh   int
+	closed  bool
+	err     error
+}
+
+// NewWriter writes the header and metadata and returns a Writer.
+func NewWriter(w io.Writer, meta Meta) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	hdr := make([]byte, 0, 64)
+	hdr = append(hdr, Magic[:]...)
+	hdr = append(hdr, Version)
+	name := strings.ToLower(meta.Workload)
+	hdr = binary.AppendUvarint(hdr, uint64(len(name)))
+	hdr = append(hdr, name...)
+	hdr = binary.AppendUvarint(hdr, uint64(meta.Nodes))
+	hdr = binary.LittleEndian.AppendUint64(hdr, math.Float64bits(meta.Scale))
+	hdr = binary.AppendVarint(hdr, meta.Seed)
+	if _, err := bw.Write(hdr); err != nil {
+		return nil, fmt.Errorf("stream: writing header: %w", err)
+	}
+	return &Writer{w: bw, perCh: DefaultChunkEvents}, nil
+}
+
+// Write implements Sink. The event's Seq field is not stored.
+func (w *Writer) Write(e trace.Event) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		w.err = errors.New("stream: write after Close")
+		return w.err
+	}
+	w.chunk = append(w.chunk, e)
+	w.count++
+	if len(w.chunk) >= w.perCh {
+		return w.flushChunk()
+	}
+	return nil
+}
+
+// flushChunk encodes and emits the buffered events as one chunk.
+func (w *Writer) flushChunk() error {
+	if len(w.chunk) == 0 {
+		return nil
+	}
+	buf := w.scratch[:0]
+	buf = binary.AppendUvarint(buf, uint64(len(w.chunk)))
+	prev := uint64(0)
+	for _, e := range w.chunk {
+		buf = append(buf, byte(e.Kind))
+		buf = binary.AppendUvarint(buf, uint64(e.Node))
+		buf = binary.AppendVarint(buf, int64(uint64(e.Block)-prev))
+		prev = uint64(e.Block)
+		buf = binary.AppendUvarint(buf, uint64(int64(e.Producer)+1))
+	}
+	w.scratch = buf[:0]
+	w.chunk = w.chunk[:0]
+	if _, err := w.w.Write(buf); err != nil {
+		w.err = fmt.Errorf("stream: writing chunk: %w", err)
+		return w.err
+	}
+	return nil
+}
+
+// Count returns the number of events written so far.
+func (w *Writer) Count() uint64 { return w.count }
+
+// Close flushes the final chunk, writes the end-of-stream marker and the
+// event-count trailer, and flushes the underlying buffer. It implements
+// Sink and is idempotent.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.flushChunk(); err != nil {
+		return err
+	}
+	tail := binary.AppendUvarint(nil, 0)
+	tail = binary.AppendUvarint(tail, w.count)
+	if _, err := w.w.Write(tail); err != nil {
+		w.err = fmt.Errorf("stream: writing trailer: %w", err)
+		return w.err
+	}
+	if err := w.w.Flush(); err != nil {
+		w.err = fmt.Errorf("stream: flushing: %w", err)
+		return w.err
+	}
+	return nil
+}
+
+// Reader decodes a stream produced by Writer. It implements Source.
+type Reader struct {
+	r     *bufio.Reader
+	meta  Meta
+	chunk []trace.Event
+	pos   int
+	next  uint64
+	done  bool
+}
+
+// NewReader validates the header, decodes the metadata and returns a
+// Reader. It fails with ErrBadMagic or a wrapped ErrVersion on foreign or
+// incompatible streams.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [5]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("stream: reading header: %w", errTrunc(err))
+	}
+	if *(*[4]byte)(hdr[:4]) != Magic {
+		return nil, ErrBadMagic
+	}
+	if hdr[4] != Version {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrVersion, hdr[4], Version)
+	}
+	rd := &Reader{r: br}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("stream: reading metadata: %w", errTrunc(err))
+	}
+	if n > 1024 {
+		return nil, fmt.Errorf("%w: workload name length %d", ErrCorrupt, n)
+	}
+	name := make([]byte, n)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("stream: reading metadata: %w", errTrunc(err))
+	}
+	rd.meta.Workload = string(name)
+	nodes, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("stream: reading metadata: %w", errTrunc(err))
+	}
+	if nodes > maxMetaNodes {
+		return nil, fmt.Errorf("%w: node count %d", ErrCorrupt, nodes)
+	}
+	rd.meta.Nodes = int(nodes)
+	var scale [8]byte
+	if _, err := io.ReadFull(br, scale[:]); err != nil {
+		return nil, fmt.Errorf("stream: reading metadata: %w", errTrunc(err))
+	}
+	rd.meta.Scale = math.Float64frombits(binary.LittleEndian.Uint64(scale[:]))
+	if math.IsNaN(rd.meta.Scale) || math.IsInf(rd.meta.Scale, 0) || rd.meta.Scale < 0 || rd.meta.Scale > maxMetaScale {
+		return nil, fmt.Errorf("%w: scale %v", ErrCorrupt, rd.meta.Scale)
+	}
+	seed, err := binary.ReadVarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("stream: reading metadata: %w", errTrunc(err))
+	}
+	rd.meta.Seed = seed
+	return rd, nil
+}
+
+// errTrunc maps any EOF while structure remains expected to ErrTruncated.
+func errTrunc(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return ErrTruncated
+	}
+	return err
+}
+
+// Meta returns the stream metadata decoded from the header.
+func (r *Reader) Meta() Meta { return r.meta }
+
+// Next implements Source, returning io.EOF after the last event of a
+// well-formed stream and a wrapped ErrTruncated/ErrCorrupt otherwise.
+func (r *Reader) Next() (trace.Event, error) {
+	for r.pos >= len(r.chunk) {
+		if r.done {
+			return trace.Event{}, io.EOF
+		}
+		if err := r.readChunk(); err != nil {
+			return trace.Event{}, err
+		}
+	}
+	e := r.chunk[r.pos]
+	e.Seq = r.next
+	r.pos++
+	r.next++
+	return e, nil
+}
+
+// readChunk decodes the next chunk, or verifies the trailer on the end
+// marker.
+func (r *Reader) readChunk() error {
+	n, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return fmt.Errorf("stream: reading chunk count: %w", errTrunc(err))
+	}
+	if n == 0 {
+		total, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return fmt.Errorf("stream: reading trailer: %w", errTrunc(err))
+		}
+		if total != r.next {
+			return fmt.Errorf("%w: trailer count %d, decoded %d events", ErrCorrupt, total, r.next)
+		}
+		r.done = true
+		r.chunk = r.chunk[:0]
+		r.pos = 0
+		return nil
+	}
+	if n > maxChunkEvents {
+		return fmt.Errorf("%w: chunk of %d events", ErrCorrupt, n)
+	}
+	if cap(r.chunk) < int(n) {
+		r.chunk = make([]trace.Event, 0, n)
+	}
+	r.chunk = r.chunk[:0]
+	r.pos = 0
+	prev := uint64(0)
+	for i := uint64(0); i < n; i++ {
+		kind, err := r.r.ReadByte()
+		if err != nil {
+			return fmt.Errorf("stream: reading event kind: %w", errTrunc(err))
+		}
+		node, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return fmt.Errorf("stream: reading event node: %w", errTrunc(err))
+		}
+		delta, err := binary.ReadVarint(r.r)
+		if err != nil {
+			return fmt.Errorf("stream: reading event block: %w", errTrunc(err))
+		}
+		prev += uint64(delta)
+		prod, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return fmt.Errorf("stream: reading event producer: %w", errTrunc(err))
+		}
+		r.chunk = append(r.chunk, trace.Event{
+			Kind:     trace.EventKind(kind),
+			Node:     mem.NodeID(node),
+			Block:    mem.BlockAddr(prev),
+			Producer: mem.NodeID(int64(prod) - 1),
+		})
+	}
+	return nil
+}
+
+// WriteFile streams src into a new trace file at path, fsync-free but fully
+// flushed and closed.
+func WriteFile(path string, meta Meta, src Source) (n uint64, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	w, err := NewWriter(f, meta)
+	if err != nil {
+		return 0, err
+	}
+	if n, err = Copy(w, src); err != nil {
+		return n, err
+	}
+	return n, w.Close()
+}
+
+// FileReader is a Reader over an open trace file.
+type FileReader struct {
+	*Reader
+	f *os.File
+}
+
+// OpenFile opens path for streaming reads. The caller must Close it.
+func OpenFile(path string) (*FileReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &FileReader{Reader: r, f: f}, nil
+}
+
+// Close closes the underlying file.
+func (r *FileReader) Close() error { return r.f.Close() }
+
+// LoadFile reads a whole trace file into memory.
+func LoadFile(path string) (*trace.Trace, Meta, error) {
+	r, err := OpenFile(path)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	defer r.Close()
+	tr, err := Collect(r)
+	if err != nil {
+		return nil, r.Meta(), err
+	}
+	return tr, r.Meta(), nil
+}

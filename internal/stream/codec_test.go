@@ -1,0 +1,257 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+
+	"tsm/internal/mem"
+	"tsm/internal/trace"
+)
+
+// randomTrace builds a deterministic pseudo-random trace exercising every
+// kind, the full node range, InvalidNode producers and large block deltas.
+func randomTrace(n int, seed int64) *trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := &trace.Trace{}
+	for i := 0; i < n; i++ {
+		kind := trace.EventKind(rng.Intn(3))
+		prod := mem.InvalidNode
+		if kind == trace.KindConsumption && rng.Intn(4) != 0 {
+			prod = mem.NodeID(rng.Intn(16))
+		}
+		var block mem.BlockAddr
+		if rng.Intn(8) == 0 {
+			// Occasional far jump (new region): a large delta.
+			block = mem.BlockAddr(rng.Uint64() &^ 63)
+		} else {
+			block = mem.BlockAddr(uint64(rng.Intn(1<<20)) * 64)
+		}
+		tr.Append(trace.Event{
+			Kind:     kind,
+			Node:     mem.NodeID(rng.Intn(16)),
+			Block:    block,
+			Producer: prod,
+		})
+	}
+	return tr
+}
+
+func encode(t *testing.T, tr *trace.Trace, meta Meta) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Copy(w, TraceSource(tr)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCodecRoundTrip is the round-trip property test: for a range of trace
+// sizes straddling chunk boundaries, encode→decode yields identical events
+// and metadata.
+func TestCodecRoundTrip(t *testing.T) {
+	meta := Meta{Workload: "db2", Nodes: 16, Scale: 0.25, Seed: 42}
+	for _, n := range []int{0, 1, 7, DefaultChunkEvents - 1, DefaultChunkEvents, DefaultChunkEvents + 1, 3*DefaultChunkEvents + 17} {
+		tr := randomTrace(n, int64(n)+1)
+		data := encode(t, tr, meta)
+
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if r.Meta() != meta {
+			t.Fatalf("n=%d: meta = %+v, want %+v", n, r.Meta(), meta)
+		}
+		got, err := Collect(r)
+		if err != nil {
+			t.Fatalf("n=%d: decode: %v", n, err)
+		}
+		if got.Len() != tr.Len() {
+			t.Fatalf("n=%d: decoded %d events, want %d", n, got.Len(), tr.Len())
+		}
+		for i := range tr.Events {
+			if got.Events[i] != tr.Events[i] {
+				t.Fatalf("n=%d: event %d = %+v, want %+v", n, i, got.Events[i], tr.Events[i])
+			}
+		}
+		// The stream must then be cleanly exhausted.
+		if _, err := r.Next(); err != io.EOF {
+			t.Fatalf("n=%d: after end: %v, want io.EOF", n, err)
+		}
+	}
+}
+
+// TestCodecCompact checks that delta encoding actually compresses: the
+// streamed format must be well under the legacy 13-byte fixed event size.
+func TestCodecCompact(t *testing.T) {
+	tr := randomTrace(10000, 3)
+	data := encode(t, tr, Meta{Workload: "em3d", Nodes: 16, Scale: 1, Seed: 1})
+	if max := 10 * tr.Len(); len(data) > max {
+		t.Fatalf("encoded %d events in %d bytes, want <= %d", tr.Len(), len(data), max)
+	}
+}
+
+func TestCodecBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOPE!xxxxxxx"))); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+	// The legacy fixed-width format must be rejected too.
+	if _, err := NewReader(bytes.NewReader([]byte{'T', 'S', 'M', '1', 0, 0, 0})); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("legacy header: err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestCodecVersionMismatch(t *testing.T) {
+	data := encode(t, randomTrace(10, 1), Meta{Nodes: 4, Scale: 1, Seed: 1})
+	data[4] = Version + 8
+	_, err := NewReader(bytes.NewReader(data))
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("err = %v, want ErrVersion", err)
+	}
+}
+
+// TestCodecTruncated cuts a valid stream at every interesting boundary and
+// expects a wrapped ErrTruncated (never a clean EOF, never a panic).
+func TestCodecTruncated(t *testing.T) {
+	tr := randomTrace(2*DefaultChunkEvents+5, 7)
+	data := encode(t, tr, Meta{Workload: "ocean", Nodes: 16, Scale: 1, Seed: 9})
+	cuts := []int{3, 5, 9, 20, len(data) / 2, len(data) - 1}
+	for _, cut := range cuts {
+		r, err := NewReader(bytes.NewReader(data[:cut]))
+		if err != nil {
+			if !errors.Is(err, ErrTruncated) {
+				t.Fatalf("cut=%d: header err = %v, want ErrTruncated", cut, err)
+			}
+			continue
+		}
+		_, err = Collect(r)
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut=%d: decode err = %v, want ErrTruncated", cut, err)
+		}
+	}
+}
+
+// TestCodecMissingTrailer exercises the case a crashed writer produces:
+// complete chunks but no end marker. The reader must not report clean EOF.
+func TestCodecMissingTrailer(t *testing.T) {
+	tr := randomTrace(DefaultChunkEvents, 11) // exactly one full chunk
+	data := encode(t, tr, Meta{Nodes: 16, Scale: 1, Seed: 1})
+	// Strip the end marker (one zero byte) and trailer varint.
+	trunc := data[:len(data)-1-len(appendUvarintLen(uint64(tr.Len())))]
+	r, err := NewReader(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Collect(r); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+}
+
+// appendUvarintLen returns the varint encoding of v (helper to compute
+// trailer length).
+func appendUvarintLen(v uint64) []byte {
+	buf := make([]byte, 0, 10)
+	for v >= 0x80 {
+		buf = append(buf, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(buf, byte(v))
+}
+
+// TestCodecCorruptTrailer flips the trailer count and expects ErrCorrupt.
+func TestCodecCorruptTrailer(t *testing.T) {
+	tr := randomTrace(5, 13)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Meta{Nodes: 4, Scale: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Copy(w, TraceSource(tr)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(data)-1]++ // trailer is the last varint; 5 fits in one byte
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Collect(r); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestCodecCorruptMeta: absurd header metadata (huge node counts, NaN or
+// negative scales) must fail with ErrCorrupt rather than flow into
+// generator reconstruction, where a huge node count would try to allocate.
+func TestCodecCorruptMeta(t *testing.T) {
+	for _, meta := range []Meta{
+		{Workload: "db2", Nodes: maxMetaNodes + 1, Scale: 1, Seed: 1},
+		{Workload: "db2", Nodes: 16, Scale: math.NaN(), Seed: 1},
+		{Workload: "db2", Nodes: 16, Scale: math.Inf(1), Seed: 1},
+		{Workload: "db2", Nodes: 16, Scale: -1, Seed: 1},
+		{Workload: "db2", Nodes: 16, Scale: maxMetaScale * 2, Seed: 1},
+	} {
+		data := encode(t, randomTrace(3, 1), meta)
+		if _, err := NewReader(bytes.NewReader(data)); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("meta %+v: err = %v, want ErrCorrupt", meta, err)
+		}
+	}
+}
+
+func TestWriterRejectsWriteAfterClose(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Meta{Nodes: 4, Scale: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close must be idempotent, got %v", err)
+	}
+	if err := w.Write(trace.Event{}); err == nil {
+		t.Fatal("Write after Close must fail")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	tr := randomTrace(1234, 17)
+	meta := Meta{Workload: "zeus", Nodes: 16, Scale: 0.5, Seed: 4}
+	path := t.TempDir() + "/t.tsm"
+	n, err := WriteFile(path, meta, TraceSource(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != uint64(tr.Len()) {
+		t.Fatalf("wrote %d events, want %d", n, tr.Len())
+	}
+	got, gotMeta, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMeta != meta {
+		t.Fatalf("meta = %+v, want %+v", gotMeta, meta)
+	}
+	if got.Len() != tr.Len() {
+		t.Fatalf("loaded %d events, want %d", got.Len(), tr.Len())
+	}
+	for i := range tr.Events {
+		if got.Events[i] != tr.Events[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got.Events[i], tr.Events[i])
+		}
+	}
+}

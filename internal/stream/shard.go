@@ -1,0 +1,200 @@
+package stream
+
+import (
+	"io"
+	"sync"
+
+	"tsm/internal/mem"
+	"tsm/internal/trace"
+)
+
+// Model is the structural subset of the evaluation interface
+// (internal/prefetch.Model minus Name) the sharded evaluator drives. Any
+// prefetcher model satisfies it without an import cycle.
+type Model interface {
+	// Consumption observes a consumption event and reports whether the
+	// model's buffer covered it.
+	Consumption(e trace.Event) bool
+	// Write observes a write event.
+	Write(e trace.Event)
+	// Finish flushes state and returns blocks fetched and discarded.
+	Finish() (fetched, discards uint64)
+}
+
+// Counts is the aggregate outcome of a (possibly sharded) model evaluation.
+type Counts struct {
+	// Consumptions is the number of consumption events evaluated.
+	Consumptions uint64
+	// Covered is the number of consumptions the model covered.
+	Covered uint64
+	// Fetched is the number of blocks the model moved into its buffer.
+	Fetched uint64
+	// Discards is the number of fetched blocks never used.
+	Discards uint64
+}
+
+func (c *Counts) add(o Counts) {
+	c.Consumptions += o.Consumptions
+	c.Covered += o.Covered
+	c.Fetched += o.Fetched
+	c.Discards += o.Discards
+}
+
+// ShardConfig parameterises the sharded evaluator.
+type ShardConfig struct {
+	// Shards is the number of model replicas / workers (default: one per
+	// available CPU).
+	Shards int
+	// Nodes is the node-id space of the trace. Consumptions from nodes
+	// outside [0, Nodes) route to shard 0, matching the serial models'
+	// clamp of invalid ids onto node 0.
+	Nodes int
+}
+
+func (c ShardConfig) normalize() ShardConfig {
+	if c.Shards <= 0 {
+		c.Shards = Workers(0)
+	}
+	if c.Nodes > 0 && c.Shards > c.Nodes {
+		c.Shards = c.Nodes
+	}
+	return c
+}
+
+// shardOf routes a consuming node to its shard.
+func (c ShardConfig) shardOf(n mem.NodeID) int {
+	if int(n) < 0 || (c.Nodes > 0 && int(n) >= c.Nodes) {
+		return 0
+	}
+	return int(n) % c.Shards
+}
+
+// EvaluateShardedTrace evaluates a model over a materialized trace with the
+// consumption stream partitioned by consuming node across cfg.Shards model
+// replicas, then merges the per-shard counts in shard order.
+//
+// Each replica (built by factory, which must return independent instances)
+// observes every write event — writes invalidate buffered copies on all
+// nodes — but only the consumptions of the nodes in its shard, all in
+// global trace order. For models whose mutable state is partitioned by
+// consuming node (all the baseline prefetchers: stride and both GHB
+// variants), the merged result is bit-identical to a serial evaluation of
+// one replica over the full stream, because state for different nodes never
+// interacts. Globally coupled models (TSE, whose directory CMOB pointers
+// are shared across nodes) must not be sharded this way; they parallelise
+// at model granularity instead (see internal/analysis).
+func EvaluateShardedTrace(tr *trace.Trace, cfg ShardConfig, factory func(shard int) Model) Counts {
+	cfg = cfg.normalize()
+	results, _ := RunOrdered(cfg.Shards, cfg.Shards, func(shard int) (Counts, error) {
+		m := factory(shard)
+		var c Counts
+		for i := range tr.Events {
+			e := &tr.Events[i]
+			switch e.Kind {
+			case trace.KindWrite:
+				m.Write(*e)
+			case trace.KindConsumption:
+				if cfg.shardOf(e.Node) == shard {
+					c.Consumptions++
+					if m.Consumption(*e) {
+						c.Covered++
+					}
+				}
+			}
+		}
+		c.Fetched, c.Discards = m.Finish()
+		return c, nil
+	})
+	var total Counts
+	for _, c := range results {
+		total.add(c)
+	}
+	return total
+}
+
+// shardBatchEvents is the router's per-shard batch size for the streaming
+// evaluator: large enough to amortise channel synchronisation, small enough
+// to keep shards busy concurrently.
+const shardBatchEvents = 2048
+
+// EvaluateShardedStream is EvaluateShardedTrace over a Source: a single
+// pass routes consumptions to their shard and replicates writes to every
+// shard, preserving global order within each shard's sequence, so the
+// result is identical to the materialized variant (and, for per-node-state
+// models, to a serial evaluation) without ever holding the full trace in
+// memory.
+func EvaluateShardedStream(src Source, cfg ShardConfig, factory func(shard int) Model) (Counts, error) {
+	cfg = cfg.normalize()
+	chans := make([]chan []trace.Event, cfg.Shards)
+	for i := range chans {
+		chans[i] = make(chan []trace.Event, 4)
+	}
+
+	results := make([]Counts, cfg.Shards)
+	var wg sync.WaitGroup
+	wg.Add(cfg.Shards)
+	for shard := 0; shard < cfg.Shards; shard++ {
+		go func(shard int) {
+			defer wg.Done()
+			m := factory(shard)
+			c := &results[shard]
+			for batch := range chans[shard] {
+				for _, e := range batch {
+					if e.Kind == trace.KindWrite {
+						m.Write(e)
+						continue
+					}
+					c.Consumptions++
+					if m.Consumption(e) {
+						c.Covered++
+					}
+				}
+			}
+			c.Fetched, c.Discards = m.Finish()
+		}(shard)
+	}
+
+	batches := make([][]trace.Event, cfg.Shards)
+	flush := func(shard int) {
+		if len(batches[shard]) > 0 {
+			chans[shard] <- batches[shard]
+			batches[shard] = nil
+		}
+	}
+	route := func(shard int, e trace.Event) {
+		batches[shard] = append(batches[shard], e)
+		if len(batches[shard]) >= shardBatchEvents {
+			flush(shard)
+		}
+	}
+	var srcErr error
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			srcErr = err
+			break
+		}
+		switch e.Kind {
+		case trace.KindWrite:
+			for shard := range batches {
+				route(shard, e)
+			}
+		case trace.KindConsumption:
+			route(cfg.shardOf(e.Node), e)
+		}
+	}
+	for shard := range chans {
+		flush(shard)
+		close(chans[shard])
+	}
+	wg.Wait()
+
+	var total Counts
+	for i := range results {
+		total.add(results[i])
+	}
+	return total, srcErr
+}

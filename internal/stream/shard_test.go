@@ -1,0 +1,141 @@
+package stream
+
+import (
+	"testing"
+
+	"tsm/internal/coherence"
+	"tsm/internal/mem"
+	"tsm/internal/prefetch"
+	"tsm/internal/trace"
+	"tsm/internal/workload"
+)
+
+// workloadTrace generates a small real workload trace for equivalence tests.
+func workloadTrace(t testing.TB, name string, nodes int) *trace.Trace {
+	t.Helper()
+	spec, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("unknown workload %q", name)
+	}
+	gen := spec.New(workload.Config{Nodes: nodes, Seed: 3, Scale: 0.05})
+	eng := coherence.New(coherence.Config{Nodes: nodes, Geometry: mem.DefaultGeometry(), PointersPerEntry: 2})
+	return eng.Run(gen.Generate())
+}
+
+// serialCounts evaluates a model over the full stream on one goroutine —
+// the reference the sharded paths must match exactly.
+func serialCounts(m Model, tr *trace.Trace) Counts {
+	var c Counts
+	for _, e := range tr.Events {
+		switch e.Kind {
+		case trace.KindConsumption:
+			c.Consumptions++
+			if m.Consumption(e) {
+				c.Covered++
+			}
+		case trace.KindWrite:
+			m.Write(e)
+		}
+	}
+	c.Fetched, c.Discards = m.Finish()
+	return c
+}
+
+// TestShardedMatchesSerial: for every baseline prefetcher (per-node state),
+// the sharded evaluation over both a materialized trace and a stream must be
+// bit-identical to the serial evaluation, for several shard widths.
+func TestShardedMatchesSerial(t *testing.T) {
+	const nodes = 8
+	tr := workloadTrace(t, "db2", nodes)
+	if tr.ConsumptionCount() < 200 {
+		t.Fatalf("trace too small: %d consumptions", tr.ConsumptionCount())
+	}
+
+	factories := map[string]func() Model{
+		"stride": func() Model {
+			cfg := prefetch.DefaultStrideConfig()
+			cfg.Nodes = nodes
+			return prefetch.NewStride(cfg)
+		},
+		"ghb-gdc": func() Model {
+			cfg := prefetch.DefaultGHBConfig(prefetch.GDC)
+			cfg.Nodes = nodes
+			return prefetch.NewGHB(cfg)
+		},
+		"ghb-gac": func() Model {
+			cfg := prefetch.DefaultGHBConfig(prefetch.GAC)
+			cfg.Nodes = nodes
+			return prefetch.NewGHB(cfg)
+		},
+	}
+	var anyFetched bool
+	for name, factory := range factories {
+		want := serialCounts(factory(), tr)
+		if want.Consumptions == 0 {
+			t.Fatalf("%s: degenerate serial reference %+v", name, want)
+		}
+		anyFetched = anyFetched || want.Fetched > 0
+		for _, shards := range []int{1, 2, 3, nodes, nodes + 5} {
+			cfg := ShardConfig{Shards: shards, Nodes: nodes}
+			got := EvaluateShardedTrace(tr, cfg, func(int) Model { return factory() })
+			if got != want {
+				t.Errorf("%s shards=%d (trace): %+v, want %+v", name, shards, got, want)
+			}
+			gotStream, err := EvaluateShardedStream(TraceSource(tr), cfg, func(int) Model { return factory() })
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotStream != want {
+				t.Errorf("%s shards=%d (stream): %+v, want %+v", name, shards, gotStream, want)
+			}
+		}
+	}
+	if !anyFetched {
+		t.Fatal("no model fetched any blocks; the equivalence check is vacuous")
+	}
+}
+
+// orderModel records the order in which it observes events for one node, to
+// verify the router preserves per-shard global order.
+type orderModel struct {
+	node mem.NodeID
+	seen []uint64
+}
+
+func (m *orderModel) Consumption(e trace.Event) bool {
+	if e.Node == m.node {
+		m.seen = append(m.seen, e.Seq)
+	}
+	return false
+}
+func (m *orderModel) Write(e trace.Event)      { m.seen = append(m.seen, e.Seq) }
+func (m *orderModel) Finish() (uint64, uint64) { return 0, 0 }
+
+// TestShardedStreamPreservesOrder: every shard must observe its
+// consumptions and all writes in strictly increasing global order.
+func TestShardedStreamPreservesOrder(t *testing.T) {
+	const nodes = 4
+	tr := workloadTrace(t, "em3d", nodes)
+	models := make([]*orderModel, nodes)
+	_, err := EvaluateShardedStream(TraceSource(tr), ShardConfig{Shards: nodes, Nodes: nodes}, func(shard int) Model {
+		m := &orderModel{node: mem.NodeID(shard)}
+		models[shard] = m
+		return m
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range models {
+		if m == nil {
+			t.Fatal("factory not called for every shard")
+		}
+		if len(m.seen) == 0 {
+			t.Fatalf("shard %d observed no events", m.node)
+		}
+		for i := 1; i < len(m.seen); i++ {
+			if m.seen[i] <= m.seen[i-1] {
+				t.Fatalf("shard %d saw seq %d after %d", m.node, m.seen[i], m.seen[i-1])
+			}
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package stream
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"tsm/internal/mem"
+	"tsm/internal/trace"
+)
+
+func TestSliceSourceAndCollect(t *testing.T) {
+	tr := randomTrace(100, 1)
+	got, err := Collect(TraceSource(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() {
+		t.Fatalf("collected %d events, want %d", got.Len(), tr.Len())
+	}
+	for i := range tr.Events {
+		if got.Events[i] != tr.Events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+	src := TraceSource(tr)
+	for i := 0; i < tr.Len(); i++ {
+		if _, err := src.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("exhausted source: %v, want io.EOF", err)
+	}
+}
+
+// TestCollectReassignsSeq: sequence numbers are implicit in stream order,
+// so collecting must produce dense Seq values regardless of the input's.
+func TestCollectReassignsSeq(t *testing.T) {
+	events := []trace.Event{
+		{Seq: 99, Kind: trace.KindWrite, Node: 1, Block: 64, Producer: mem.InvalidNode},
+		{Seq: 7, Kind: trace.KindConsumption, Node: 2, Block: 128, Producer: 1},
+	}
+	got, err := Collect(NewSliceSource(events))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range got.Events {
+		if e.Seq != uint64(i) {
+			t.Fatalf("event %d has Seq %d", i, e.Seq)
+		}
+	}
+}
+
+func TestMultiSinkAndFuncSink(t *testing.T) {
+	tr := randomTrace(50, 2)
+	var a TraceSink
+	var n int
+	count := FuncSink(func(e trace.Event) error { n++; return nil })
+	if _, err := Copy(MultiSink{&a, count}, TraceSource(tr)); err != nil {
+		t.Fatal(err)
+	}
+	if a.Trace.Len() != tr.Len() || n != tr.Len() {
+		t.Fatalf("fan-out saw %d/%d events, want %d", a.Trace.Len(), n, tr.Len())
+	}
+
+	boom := errors.New("boom")
+	fail := FuncSink(func(e trace.Event) error { return boom })
+	if _, err := Copy(MultiSink{fail}, TraceSource(tr)); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestRunOrdered(t *testing.T) {
+	out, err := RunOrdered(100, 8, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d (merge must preserve index order)", i, v)
+		}
+	}
+	boom := errors.New("boom")
+	if _, err := RunOrdered(10, 4, func(i int) (int, error) {
+		if i == 3 {
+			return 0, boom
+		}
+		return i, nil
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// Serial fallback path.
+	out, err = RunOrdered(3, 1, func(i int) (int, error) { return i, nil })
+	if err != nil || len(out) != 3 {
+		t.Fatalf("serial RunOrdered = %v, %v", out, err)
+	}
+}

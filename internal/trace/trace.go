@@ -6,16 +6,13 @@
 // in this repository, and every trace analysis, operates on this stream —
 // the same role the paper's memory traces from SIMFLEX play.
 //
-// Traces can be held in memory or serialised to a compact binary format
-// (encoding/binary, little endian) via Writer and Reader.
+// Traces can be held in memory (Trace) or streamed: internal/stream
+// provides the Source/Sink iterator abstraction and the versioned binary
+// trace codec.
 package trace
 
 import (
-	"bufio"
-	"encoding/binary"
-	"errors"
 	"fmt"
-	"io"
 
 	"tsm/internal/mem"
 )
@@ -121,124 +118,4 @@ func (t *Trace) CountByKind() map[EventKind]int {
 		m[e.Kind]++
 	}
 	return m
-}
-
-// magic identifies the binary trace format.
-var magic = [4]byte{'T', 'S', 'M', '1'}
-
-// eventWireSize is the fixed encoded size of one event.
-const eventWireSize = 1 + 2 + 8 + 2 // kind + node + block + producer
-
-// Writer serialises events to a stream.
-type Writer struct {
-	w     *bufio.Writer
-	count uint64
-	err   error
-}
-
-// NewWriter creates a Writer and emits the format header.
-func NewWriter(w io.Writer) (*Writer, error) {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(magic[:]); err != nil {
-		return nil, fmt.Errorf("trace: writing header: %w", err)
-	}
-	return &Writer{w: bw}, nil
-}
-
-// Write serialises one event. The event's Seq field is not stored; sequence
-// numbers are implicit in stream order.
-func (w *Writer) Write(e Event) error {
-	if w.err != nil {
-		return w.err
-	}
-	var buf [eventWireSize]byte
-	buf[0] = byte(e.Kind)
-	binary.LittleEndian.PutUint16(buf[1:3], uint16(e.Node))
-	binary.LittleEndian.PutUint64(buf[3:11], uint64(e.Block))
-	binary.LittleEndian.PutUint16(buf[11:13], uint16(int16(e.Producer)))
-	if _, err := w.w.Write(buf[:]); err != nil {
-		w.err = fmt.Errorf("trace: writing event %d: %w", w.count, err)
-		return w.err
-	}
-	w.count++
-	return nil
-}
-
-// WriteTrace serialises every event of an in-memory trace.
-func (w *Writer) WriteTrace(t *Trace) error {
-	for _, e := range t.Events {
-		if err := w.Write(e); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// Count returns the number of events written so far.
-func (w *Writer) Count() uint64 { return w.count }
-
-// Flush writes any buffered data to the underlying writer.
-func (w *Writer) Flush() error {
-	if w.err != nil {
-		return w.err
-	}
-	return w.w.Flush()
-}
-
-// Reader deserialises events from a stream produced by Writer.
-type Reader struct {
-	r    *bufio.Reader
-	next uint64
-}
-
-// ErrBadFormat is returned when the stream does not begin with the trace
-// format header.
-var ErrBadFormat = errors.New("trace: bad format header")
-
-// NewReader validates the header and returns a Reader.
-func NewReader(r io.Reader) (*Reader, error) {
-	br := bufio.NewReader(r)
-	var hdr [4]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading header: %w", err)
-	}
-	if hdr != magic {
-		return nil, ErrBadFormat
-	}
-	return &Reader{r: br}, nil
-}
-
-// Read returns the next event, or io.EOF when the stream ends cleanly.
-func (r *Reader) Read() (Event, error) {
-	var buf [eventWireSize]byte
-	if _, err := io.ReadFull(r.r, buf[:]); err != nil {
-		if err == io.EOF {
-			return Event{}, io.EOF
-		}
-		return Event{}, fmt.Errorf("trace: reading event %d: %w", r.next, err)
-	}
-	e := Event{
-		Seq:      r.next,
-		Kind:     EventKind(buf[0]),
-		Node:     mem.NodeID(binary.LittleEndian.Uint16(buf[1:3])),
-		Block:    mem.BlockAddr(binary.LittleEndian.Uint64(buf[3:11])),
-		Producer: mem.NodeID(int16(binary.LittleEndian.Uint16(buf[11:13]))),
-	}
-	r.next++
-	return e, nil
-}
-
-// ReadAll reads every remaining event into an in-memory trace.
-func (r *Reader) ReadAll() (*Trace, error) {
-	t := &Trace{}
-	for {
-		e, err := r.Read()
-		if err == io.EOF {
-			return t, nil
-		}
-		if err != nil {
-			return t, err
-		}
-		t.Events = append(t.Events, e)
-	}
 }

@@ -1,13 +1,7 @@
 package trace
 
 import (
-	"bytes"
-	"io"
-	"math/rand"
 	"testing"
-	"testing/quick"
-
-	"tsm/internal/mem"
 )
 
 func TestAppendAssignsSeq(t *testing.T) {
@@ -54,142 +48,5 @@ func TestEventKindString(t *testing.T) {
 	}
 	if EventKind(77).String() == "" {
 		t.Fatal("unknown kind should produce a string")
-	}
-}
-
-func TestWriterReaderRoundTrip(t *testing.T) {
-	var tr Trace
-	rng := rand.New(rand.NewSource(3))
-	for i := 0; i < 500; i++ {
-		kind := EventKind(rng.Intn(3))
-		producer := mem.NodeID(rng.Intn(16))
-		if rng.Intn(4) == 0 {
-			producer = mem.InvalidNode
-		}
-		tr.Append(Event{
-			Kind:     kind,
-			Node:     mem.NodeID(rng.Intn(16)),
-			Block:    mem.BlockAddr(uint64(rng.Intn(1<<20)) &^ 63),
-			Producer: producer,
-		})
-	}
-
-	var buf bytes.Buffer
-	w, err := NewWriter(&buf)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := w.WriteTrace(&tr); err != nil {
-		t.Fatal(err)
-	}
-	if err := w.Flush(); err != nil {
-		t.Fatal(err)
-	}
-	if w.Count() != 500 {
-		t.Fatalf("Count = %d, want 500", w.Count())
-	}
-
-	r, err := NewReader(&buf)
-	if err != nil {
-		t.Fatal(err)
-	}
-	got, err := r.ReadAll()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got.Len() != tr.Len() {
-		t.Fatalf("round trip length %d, want %d", got.Len(), tr.Len())
-	}
-	for i := range tr.Events {
-		a, b := tr.Events[i], got.Events[i]
-		if a.Kind != b.Kind || a.Node != b.Node || a.Block != b.Block || a.Producer != b.Producer || b.Seq != uint64(i) {
-			t.Fatalf("event %d mismatch: wrote %+v read %+v", i, a, b)
-		}
-	}
-}
-
-func TestRoundTripProperty(t *testing.T) {
-	f := func(nodes []uint8, blocks []uint32) bool {
-		var tr Trace
-		n := len(nodes)
-		if len(blocks) < n {
-			n = len(blocks)
-		}
-		for i := 0; i < n; i++ {
-			tr.Append(Event{
-				Kind:     EventKind(nodes[i] % 3),
-				Node:     mem.NodeID(nodes[i] % 64),
-				Block:    mem.BlockAddr(uint64(blocks[i]) &^ 63),
-				Producer: mem.NodeID(int(nodes[i]%16) - 1),
-			})
-		}
-		var buf bytes.Buffer
-		w, err := NewWriter(&buf)
-		if err != nil {
-			return false
-		}
-		if err := w.WriteTrace(&tr); err != nil || w.Flush() != nil {
-			return false
-		}
-		r, err := NewReader(&buf)
-		if err != nil {
-			return false
-		}
-		got, err := r.ReadAll()
-		if err != nil || got.Len() != tr.Len() {
-			return false
-		}
-		for i := range tr.Events {
-			if tr.Events[i].Block != got.Events[i].Block ||
-				tr.Events[i].Node != got.Events[i].Node ||
-				tr.Events[i].Kind != got.Events[i].Kind ||
-				tr.Events[i].Producer != got.Events[i].Producer {
-				return false
-			}
-		}
-		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestReaderBadHeader(t *testing.T) {
-	if _, err := NewReader(bytes.NewReader([]byte("nope"))); err != ErrBadFormat {
-		t.Fatalf("bad header error = %v, want ErrBadFormat", err)
-	}
-	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
-		t.Fatal("empty stream should error")
-	}
-}
-
-func TestReaderTruncatedEvent(t *testing.T) {
-	var buf bytes.Buffer
-	w, _ := NewWriter(&buf)
-	w.Write(Event{Kind: KindConsumption, Node: 1, Block: 64})
-	w.Flush()
-	data := buf.Bytes()
-	truncated := data[:len(data)-3]
-	r, err := NewReader(bytes.NewReader(truncated))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := r.Read(); err == nil || err == io.EOF {
-		t.Fatalf("truncated event read error = %v, want a non-EOF error", err)
-	}
-}
-
-func TestInvalidNodeProducerRoundTrip(t *testing.T) {
-	var buf bytes.Buffer
-	w, _ := NewWriter(&buf)
-	w.Write(Event{Kind: KindConsumption, Node: 5, Block: 192, Producer: mem.InvalidNode})
-	w.Flush()
-	r, _ := NewReader(&buf)
-	e, err := r.Read()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if e.Producer != mem.InvalidNode {
-		t.Fatalf("Producer = %d, want InvalidNode", e.Producer)
 	}
 }

@@ -26,6 +26,7 @@ import (
 	"tsm/internal/config"
 	"tsm/internal/experiments"
 	"tsm/internal/prefetch"
+	"tsm/internal/stream"
 	"tsm/internal/timing"
 	"tsm/internal/trace"
 	"tsm/internal/tse"
@@ -77,6 +78,82 @@ type Trace = trace.Trace
 // Generator produces workload access streams; it also carries the
 // workload's timing profile.
 type Generator = workload.Generator
+
+// EventSource is a pull-based event iterator (io.EOF ends the stream).
+type EventSource = stream.Source
+
+// EventSink consumes events one at a time; Close finalises it.
+type EventSink = stream.Sink
+
+// TraceMeta records how a saved trace was generated, so a separate process
+// can rebuild the matching generator and options.
+type TraceMeta = stream.Meta
+
+// StreamTrace builds the named workload and streams the classified trace
+// events into sink as the functional coherence engine produces them — the
+// trace is never materialized, so arbitrarily large workloads stream in
+// constant memory. It returns the generator (for timing profiles) and the
+// number of events emitted. The sink is not closed.
+func StreamTrace(name string, opts Options, sink EventSink) (Generator, uint64, error) {
+	opts = opts.normalize()
+	spec, ok := workload.ByName(strings.ToLower(name))
+	if !ok {
+		return nil, 0, fmt.Errorf("tsm: unknown workload %q (known: %s)", name, strings.Join(Workloads(), ", "))
+	}
+	gen := spec.New(workload.Config{Nodes: opts.Nodes, Seed: opts.Seed, Scale: opts.Scale})
+	eng := coherence.New(coherence.Config{Nodes: opts.Nodes, Geometry: config.DefaultSystem().Geometry, PointersPerEntry: 2})
+	var n uint64
+	err := eng.RunStream(gen.Generate(), func(e trace.Event) error {
+		if err := sink.Write(e); err != nil {
+			return err
+		}
+		n++
+		return nil
+	})
+	if err != nil {
+		return gen, n, fmt.Errorf("tsm: streaming %s trace: %w", name, err)
+	}
+	return gen, n, nil
+}
+
+// traceMeta derives the file metadata for a generated trace.
+func traceMeta(gen Generator, opts Options) TraceMeta {
+	return TraceMeta{Workload: strings.ToLower(gen.Name()), Nodes: opts.Nodes, Scale: opts.Scale, Seed: opts.Seed}
+}
+
+// SaveTrace writes a trace to path in the versioned binary stream format
+// (see internal/stream), embedding the generation metadata so LoadTrace and
+// cmd/tsesim can evaluate it in another process.
+func SaveTrace(path string, tr *Trace, gen Generator, opts Options) error {
+	opts = opts.normalize()
+	if tr == nil || gen == nil {
+		return fmt.Errorf("tsm: SaveTrace requires a trace and a generator")
+	}
+	_, err := stream.WriteFile(path, traceMeta(gen, opts), stream.TraceSource(tr))
+	return err
+}
+
+// LoadTrace reads a trace file written by SaveTrace or cmd/tracegen and
+// returns the events together with the embedded generation metadata.
+func LoadTrace(path string) (*Trace, TraceMeta, error) {
+	return stream.LoadFile(path)
+}
+
+// GeneratorFor reconstructs the workload generator a trace file's metadata
+// describes. Generation is not re-run; the generator is only needed for its
+// timing profile (and per-workload lookahead).
+func GeneratorFor(meta TraceMeta) (Generator, error) {
+	spec, ok := workload.ByName(strings.ToLower(meta.Workload))
+	if !ok {
+		return nil, fmt.Errorf("tsm: trace metadata names unknown workload %q (known: %s)", meta.Workload, strings.Join(Workloads(), ", "))
+	}
+	return spec.New(workload.Config{Nodes: meta.Nodes, Seed: meta.Seed, Scale: meta.Scale}), nil
+}
+
+// OptionsFor converts a trace file's metadata back into evaluation options.
+func OptionsFor(meta TraceMeta) Options {
+	return Options{Nodes: meta.Nodes, Scale: meta.Scale, Seed: meta.Seed}.normalize()
+}
 
 // GenerateTrace builds the named workload at the given options, runs it
 // through the functional coherence engine, and returns the classified trace
@@ -206,6 +283,28 @@ func ComparePrefetchers(tr *Trace, gen Generator, opts Options) ([]Report, error
 	return reports, nil
 }
 
+// EvaluateAll runs the Figure 12 comparison — stride, both GHB variants and
+// TSE — over one trace with the models evaluated in parallel: the per-node-
+// state baselines are sharded by consuming node across the worker pool and
+// TSE runs concurrently on its own worker. The reports are identical to
+// ComparePrefetchers (which evaluates serially), in the same order.
+func EvaluateAll(tr *Trace, gen Generator, opts Options) ([]Report, error) {
+	opts = opts.normalize()
+	if tr == nil {
+		return nil, fmt.Errorf("tsm: EvaluateAll requires a trace")
+	}
+	cfg := tseConfig(gen, opts)
+	results, _ := analysis.EvaluateSuite(cfg, tr, opts.Nodes)
+	reports := make([]Report, len(results))
+	for i, r := range results {
+		reports[i] = Report{
+			Model: r.Name, Consumptions: r.Consumptions,
+			Coverage: r.Coverage(), Discards: r.DiscardRate(),
+		}
+	}
+	return reports, nil
+}
+
 // CorrelationOpportunity runs the Figure 6 opportunity analysis and returns
 // the cumulative fraction of consumptions within each temporal correlation
 // distance 1..16.
@@ -233,4 +332,35 @@ func RunExperiment(id string, opts Options) (string, error) {
 		return "", err
 	}
 	return tbl.String(), nil
+}
+
+// RunExperiments regenerates a batch of the paper's tables and figures over
+// one shared workspace, with the independent experiments running in
+// parallel and each workload's trace generated exactly once. The rendered
+// tables are returned in the order requested and are identical to running
+// each experiment serially. An empty ids slice selects every experiment.
+func RunExperiments(ids []string, opts Options) ([]string, error) {
+	opts = opts.normalize()
+	var exps []experiments.Experiment
+	if len(ids) == 0 {
+		exps = experiments.All()
+	} else {
+		for _, id := range ids {
+			exp, ok := experiments.ByID(id)
+			if !ok {
+				return nil, fmt.Errorf("tsm: unknown experiment %q (known: %s)", id, strings.Join(Experiments(), ", "))
+			}
+			exps = append(exps, exp)
+		}
+	}
+	w := experiments.NewWorkspace(experiments.Options{Nodes: opts.Nodes, Scale: opts.Scale, Seed: opts.Seed})
+	tables, err := experiments.RunAll(w, exps)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(tables))
+	for i, tbl := range tables {
+		out[i] = tbl.String()
+	}
+	return out, nil
 }

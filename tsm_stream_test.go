@@ -1,0 +1,137 @@
+package tsm
+
+import (
+	"strings"
+	"testing"
+
+	"tsm/internal/stream"
+)
+
+// TestStreamTraceMatchesGenerateTrace: the streaming generation path must
+// emit exactly the events the materializing path produces.
+func TestStreamTraceMatchesGenerateTrace(t *testing.T) {
+	opts := testOpts()
+	want, _, err := GenerateTrace("db2", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink stream.TraceSink
+	_, n, err := StreamTrace("db2", opts, &sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(n) != want.Len() || sink.Trace.Len() != want.Len() {
+		t.Fatalf("streamed %d events (sink %d), want %d", n, sink.Trace.Len(), want.Len())
+	}
+	for i := range want.Events {
+		if sink.Trace.Events[i] != want.Events[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, sink.Trace.Events[i], want.Events[i])
+		}
+	}
+	if _, _, err := StreamTrace("nope", opts, &sink); err == nil {
+		t.Fatal("unknown workload should error")
+	}
+}
+
+// TestTraceFileRoundTripReport is the cross-process acceptance path in
+// miniature: generate→save→load→evaluate must reproduce the in-process
+// Report bit for bit (coverage, discards, and the timing-model speedup).
+func TestTraceFileRoundTripReport(t *testing.T) {
+	opts := testOpts()
+	tr, gen, err := GenerateTrace("em3d", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := EvaluateTSE(tr, gen, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := t.TempDir() + "/em3d.tsm"
+	if err := SaveTrace(path, tr, gen, opts); err != nil {
+		t.Fatal(err)
+	}
+	loaded, meta, err := LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Workload != "em3d" || meta.Nodes != opts.Nodes || meta.Scale != opts.Scale || meta.Seed != opts.Seed {
+		t.Fatalf("meta = %+v, want the generation options", meta)
+	}
+	gen2, err := GeneratorFor(meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := EvaluateTSE(loaded, gen2, OptionsFor(meta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("replayed report %+v != in-process report %+v", got, want)
+	}
+
+	if err := SaveTrace(path, nil, gen, opts); err == nil {
+		t.Fatal("nil trace should error")
+	}
+	if _, err := GeneratorFor(TraceMeta{Workload: "bogus"}); err == nil {
+		t.Fatal("bogus metadata should error")
+	}
+}
+
+// TestEvaluateAllMatchesComparePrefetchers: the parallel suite evaluation
+// must reproduce the serial comparison exactly, in the same order.
+func TestEvaluateAllMatchesComparePrefetchers(t *testing.T) {
+	opts := testOpts()
+	tr, gen, err := GenerateTrace("oracle", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ComparePrefetchers(tr, gen, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := EvaluateAll(tr, gen, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d reports, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("report %d: parallel %+v, want serial %+v", i, got[i], want[i])
+		}
+	}
+	if _, err := EvaluateAll(nil, gen, opts); err == nil {
+		t.Fatal("nil trace should error")
+	}
+}
+
+// TestRunExperimentsParallel: the batched parallel runner must render the
+// same tables as the serial single-experiment API.
+func TestRunExperimentsParallel(t *testing.T) {
+	opts := testOpts()
+	ids := []string{"table1", "fig6", "fig12"}
+	tables, err := RunExperiments(ids, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != len(ids) {
+		t.Fatalf("got %d tables, want %d", len(tables), len(ids))
+	}
+	for i, id := range ids {
+		want, err := RunExperiment(id, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tables[i] != want {
+			t.Errorf("%s: parallel table differs from serial:\n%s\nvs\n%s", id, tables[i], want)
+		}
+		if !strings.Contains(tables[i], id) {
+			t.Errorf("%s: table missing its id header", id)
+		}
+	}
+	if _, err := RunExperiments([]string{"fig999"}, opts); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
