@@ -525,3 +525,46 @@ func BenchmarkWorkloadGeneration(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkFileReplay compares the two full-pipeline file-replay paths: the
+// materializing one (LoadTrace + EvaluateTSE) and the streamed one
+// (EvaluateTSEFile, three bounded-memory passes over the file). The reports
+// are bit-identical; the streamed path trades repeated decoding for a
+// memory footprint independent of the trace length.
+func BenchmarkFileReplay(b *testing.B) {
+	opts := Options{Nodes: 16, Scale: *benchScale, Seed: 1}
+	tr, gen, err := GenerateTrace("db2", opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := b.TempDir() + "/db2.tsm"
+	if err := SaveTrace(path, tr, gen, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("inmem", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			loaded, meta, err := LoadTrace(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			gen, err := GeneratorFor(meta)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, err := EvaluateTSE(loaded, gen, OptionsFor(meta))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(100*rep.Coverage, "coverage_pct")
+		}
+	})
+	b.Run("streamed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rep, err := EvaluateTSEFile(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(100*rep.Coverage, "coverage_pct")
+		}
+	})
+}

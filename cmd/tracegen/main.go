@@ -8,6 +8,7 @@
 // Usage:
 //
 //	tracegen -workload db2 -scale 0.5 -o db2.tsm
+//	tracegen -workload pagerank -o pagerank.tsm   # extended scenario matrix
 //	tracegen -workload em3d -summary
 package main
 

@@ -5,6 +5,7 @@
 //
 //	tsesim -experiment fig12                 # one experiment, all workloads
 //	tsesim -experiment all -scale 0.25       # every table and figure, faster
+//	tsesim -experiment suite -workloads memkv,pagerank,cdn
 //	tsesim -experiment fig14 -workloads db2,oracle
 //	tsesim -i db2.tsm                        # evaluate TSE on a trace file
 //	tsesim -i db2.tsm -compare               # ...all Figure 12 models
@@ -12,9 +13,12 @@
 //
 // With -i the evaluation uses the generation metadata embedded in the trace
 // file, so the report is identical to evaluating the trace in the process
-// that generated it. Batches of experiments run in parallel over a shared
-// workspace (each workload's trace is generated exactly once); -serial
-// restores the one-at-a-time path.
+// that generated it. Replay streams the file through the full TSE + timing
+// pipeline in bounded memory — the trace is never materialized, so files of
+// any size replay in constant space; -inmem restores the materializing path
+// (the reports are bit-identical either way). Batches of experiments run in
+// parallel over a shared workspace (each workload's trace is generated
+// exactly once); -serial restores the one-at-a-time path.
 //
 // The output of each experiment is a plain-text table whose rows mirror the
 // corresponding table or figure in the paper; EXPERIMENTS.md records a
@@ -35,13 +39,14 @@ import (
 
 func main() {
 	var (
-		experimentID = flag.String("experiment", "all", "experiment id (fig6..fig14, table1..table3) or \"all\"")
-		workloads    = flag.String("workloads", "", "comma-separated workload subset (default: all seven)")
+		experimentID = flag.String("experiment", "all", "experiment id (fig6..fig14, table1..table3, suite) or \"all\"")
+		workloads    = flag.String("workloads", "", "comma-separated workload subset (default: every registered workload)")
 		nodes        = flag.Int("nodes", 16, "number of DSM nodes")
 		scale        = flag.Float64("scale", 1.0, "workload scale factor")
 		seed         = flag.Int64("seed", 1, "workload generation seed")
 		input        = flag.String("i", "", "evaluate a trace file written by tracegen -o instead of running experiments")
 		compare      = flag.Bool("compare", false, "with -i: evaluate all Figure 12 models, not just TSE")
+		inmem        = flag.Bool("inmem", false, "with -i: materialize the trace instead of streaming it (same reports)")
 		serial       = flag.Bool("serial", false, "run experiments one at a time instead of in parallel")
 		list         = flag.Bool("list", false, "list available experiments and workloads, then exit")
 		quiet        = flag.Bool("quiet", false, "suppress progress messages")
@@ -61,7 +66,7 @@ func main() {
 	}
 
 	if *input != "" {
-		if err := replayTrace(*input, *compare, *quiet); err != nil {
+		if err := replayTrace(*input, *compare, *inmem, *quiet); err != nil {
 			fmt.Fprintf(os.Stderr, "tsesim: %v\n", err)
 			os.Exit(1)
 		}
@@ -130,35 +135,60 @@ func main() {
 
 // replayTrace evaluates a trace file through the public facade, using the
 // embedded metadata to rebuild the generator, so the reports match the
-// generating process bit for bit.
-func replayTrace(path string, compare, quiet bool) error {
+// generating process bit for bit. The default path streams the file through
+// the full TSE + timing pipeline in bounded memory; inmem materializes the
+// trace first (identical reports, memory proportional to the trace).
+func replayTrace(path string, compare, inmem, quiet bool) error {
 	start := time.Now()
-	tr, meta, err := tsm.LoadTrace(path)
-	if err != nil {
-		return err
+	mode := "streamed"
+	if inmem {
+		mode = "in-memory"
 	}
-	gen, err := tsm.GeneratorFor(meta)
-	if err != nil {
-		return err
-	}
-	opts := tsm.OptionsFor(meta)
-	if !quiet {
-		fmt.Printf("trace: %s (%d events, %d consumptions)\n", meta, tr.Len(), tr.ConsumptionCount())
-	}
-	if compare {
-		reports, err := tsm.EvaluateAll(tr, gen, opts)
+	var reports []tsm.Report
+	if inmem {
+		tr, meta, err := tsm.LoadTrace(path)
 		if err != nil {
 			return err
 		}
-		for _, r := range reports {
-			fmt.Println(r)
+		gen, err := tsm.GeneratorFor(meta)
+		if err != nil {
+			return err
+		}
+		opts := tsm.OptionsFor(meta)
+		if !quiet {
+			fmt.Printf("trace: %s (%d events, %d consumptions, %s)\n", meta, tr.Len(), tr.ConsumptionCount(), mode)
+		}
+		if compare {
+			reports, err = tsm.EvaluateAll(tr, gen, opts)
+		} else {
+			var rep tsm.Report
+			rep, err = tsm.EvaluateTSE(tr, gen, opts)
+			reports = []tsm.Report{rep}
+		}
+		if err != nil {
+			return err
 		}
 	} else {
-		rep, err := tsm.EvaluateTSE(tr, gen, opts)
+		meta, err := tsm.ReplayMeta(path)
 		if err != nil {
 			return err
 		}
-		fmt.Println(rep)
+		if !quiet {
+			fmt.Printf("trace: %s (%s)\n", meta, mode)
+		}
+		if compare {
+			reports, err = tsm.EvaluateAllFile(path)
+		} else {
+			var rep tsm.Report
+			rep, err = tsm.EvaluateTSEFile(path)
+			reports = []tsm.Report{rep}
+		}
+		if err != nil {
+			return err
+		}
+	}
+	for _, r := range reports {
+		fmt.Println(r)
 	}
 	if !quiet {
 		fmt.Printf("(replay completed in %v)\n", time.Since(start).Round(time.Millisecond))

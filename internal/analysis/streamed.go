@@ -1,0 +1,23 @@
+package analysis
+
+import (
+	"tsm/internal/stream"
+	"tsm/internal/tse"
+)
+
+// EvaluateTSEStream is EvaluateTSE over a stream.Source: the TSE system
+// observes the events in stream order without the trace ever being
+// materialized, so arbitrarily large trace files evaluate the full
+// CMOB/engine/directory stack in bounded memory. The results are
+// bit-identical to EvaluateTSE over the equivalent in-memory trace.
+func EvaluateTSEStream(cfg tse.Config, src stream.Source) (CoverageResult, tse.Result, error) {
+	sys := tse.NewSystem(cfg)
+	full, err := sys.RunSource(src)
+	return CoverageResult{
+		Name:         sys.Name(),
+		Consumptions: full.Consumptions,
+		Covered:      full.Covered,
+		Fetched:      full.BlocksFetched,
+		Discards:     full.Discards,
+	}, full, err
+}

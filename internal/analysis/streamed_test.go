@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"errors"
+	"testing"
+
+	"tsm/internal/coherence"
+	"tsm/internal/mem"
+	"tsm/internal/stream"
+	"tsm/internal/trace"
+	"tsm/internal/tse"
+	"tsm/internal/workload"
+)
+
+// TestEvaluateTSEStreamMatchesEvaluateTSE: the streamed TSE evaluation must
+// be bit-identical to the materialized one on a real workload trace.
+func TestEvaluateTSEStreamMatchesEvaluateTSE(t *testing.T) {
+	gen := workload.NewOLTP(workload.Config{Nodes: 4, Seed: 3, Scale: 0.05}, "DB2")
+	eng := coherence.New(coherence.Config{Nodes: 4, Geometry: mem.DefaultGeometry(), PointersPerEntry: 2})
+	tr := eng.Run(gen.Generate())
+
+	cfg := tse.DefaultConfig()
+	cfg.Nodes = 4
+	cfg.Lookahead = gen.Timing().Lookahead
+
+	wantCov, wantFull := EvaluateTSE(cfg, tr)
+	gotCov, gotFull, err := EvaluateTSEStream(cfg, stream.TraceSource(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotCov != wantCov {
+		t.Fatalf("streamed coverage %+v differs from materialized %+v", gotCov, wantCov)
+	}
+	if gotFull.Consumptions != wantFull.Consumptions || gotFull.Covered != wantFull.Covered ||
+		gotFull.Discards != wantFull.Discards || gotFull.Traffic != wantFull.Traffic ||
+		gotFull.CMOBPeakBytes != wantFull.CMOBPeakBytes {
+		t.Fatalf("streamed full result differs: %+v vs %+v", gotFull, wantFull)
+	}
+}
+
+// brokenSource fails immediately.
+type brokenSource struct{}
+
+var errBroken = errors.New("analysis test: source failed")
+
+func (brokenSource) Next() (trace.Event, error) { return trace.Event{}, errBroken }
+
+func TestEvaluateTSEStreamPropagatesError(t *testing.T) {
+	cfg := tse.DefaultConfig()
+	cfg.Nodes = 2
+	if _, _, err := EvaluateTSEStream(cfg, brokenSource{}); !errors.Is(err, errBroken) {
+		t.Fatalf("err = %v, want errBroken", err)
+	}
+}

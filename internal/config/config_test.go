@@ -71,8 +71,8 @@ func TestTables(t *testing.T) {
 		}
 	}
 	t2 := Table2()
-	if len(t2) != 7 {
-		t.Fatalf("Table2 has %d rows, want 7", len(t2))
+	if len(t2) != 10 {
+		t.Fatalf("Table2 has %d rows, want 10 (paper suite + extended matrix)", len(t2))
 	}
 }
 

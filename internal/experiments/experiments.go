@@ -266,6 +266,7 @@ func All() []Experiment {
 		{ID: "fig13", Title: "Stream length distribution (Figure 13)", Run: Fig13},
 		{ID: "table3", Title: "Streaming timeliness (Table 3)", Run: Table3},
 		{ID: "fig14", Title: "Performance improvement from TSE (Figure 14)", Run: Fig14},
+		{ID: "suite", Title: "Suite-wide TSE comparison (full workload matrix)", Run: Suite},
 	}
 }
 

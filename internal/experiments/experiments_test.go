@@ -29,8 +29,8 @@ func parsePct(t *testing.T, s string) float64 {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 12 {
-		t.Fatalf("registry has %d experiments, want 12", len(all))
+	if len(all) != 13 {
+		t.Fatalf("registry has %d experiments, want 13", len(all))
 	}
 	for _, e := range all {
 		if e.ID == "" || e.Title == "" || e.Run == nil {
@@ -46,7 +46,7 @@ func TestRegistry(t *testing.T) {
 	if _, ok := ByID("fig99"); ok {
 		t.Fatal("ByID of unknown experiment should fail")
 	}
-	if len(IDs()) != 12 {
+	if len(IDs()) != 13 {
 		t.Fatal("IDs should list every experiment")
 	}
 }
@@ -72,9 +72,9 @@ func TestWorkspaceDataAndSelection(t *testing.T) {
 	if _, err := w.Data("bogus"); err == nil {
 		t.Fatal("unknown workload should error")
 	}
-	// Default workspace selects all workloads.
-	if got := NewWorkspace(Options{}).WorkloadNames(); len(got) != 7 {
-		t.Fatalf("default workspace selects %d workloads, want 7", len(got))
+	// Default workspace selects all workloads (paper suite + extensions).
+	if got := NewWorkspace(Options{}).WorkloadNames(); len(got) != 10 {
+		t.Fatalf("default workspace selects %d workloads, want 10", len(got))
 	}
 }
 
@@ -356,6 +356,48 @@ func TestFig11Shape(t *testing.T) {
 		ratio := parsePct(t, r[2])
 		if ratio <= 0 || ratio > 2.0 {
 			t.Fatalf("%s: overhead ratio %v implausible", r[0], ratio)
+		}
+	}
+}
+
+func TestSuiteShape(t *testing.T) {
+	w := NewWorkspace(Options{
+		Nodes: 4, Scale: 0.05, Seed: 5,
+		Workloads: []string{"em3d", "db2", "memkv", "pagerank", "cdn"},
+	})
+	tbl, err := Suite(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("suite rows = %d, want 5", len(tbl.Rows))
+	}
+	cov := map[string]float64{}
+	speedup := map[string]float64{}
+	for _, r := range tbl.Rows {
+		cov[r[0]] = parsePct(t, r[3])
+		v, err := strconv.ParseFloat(r[5], 64)
+		if err != nil {
+			t.Fatalf("bad speedup cell %q", r[5])
+		}
+		speedup[r[0]] = v
+	}
+	// The iterative kernels must stream far better than the KV store, whose
+	// short chains and heavy noise make it the hardest workload in the matrix.
+	if cov["pagerank"] < 0.7 {
+		t.Fatalf("pagerank coverage = %v, want scientific-like", cov["pagerank"])
+	}
+	if cov["memkv"] >= cov["pagerank"] {
+		t.Fatalf("memkv coverage %v should trail pagerank %v", cov["memkv"], cov["pagerank"])
+	}
+	// cdn's single-producer multi-consumer objects sit in between.
+	if cov["cdn"] < cov["memkv"] || cov["cdn"] > cov["pagerank"] {
+		t.Fatalf("cdn coverage %v should sit between memkv %v and pagerank %v",
+			cov["cdn"], cov["memkv"], cov["pagerank"])
+	}
+	for name, s := range speedup {
+		if s < 1.0 {
+			t.Fatalf("%s: TSE speedup %v below 1.0", name, s)
 		}
 	}
 }

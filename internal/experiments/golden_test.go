@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The golden-file regression harness pins the rendered output of every
+// experiment driver at a fixed small configuration. Any refactor of the
+// generators, the coherence engine, the TSE model, the timing model or the
+// table renderers that changes a single byte of any table fails here —
+// which is exactly the property that lets the streamed/parallel/sharded
+// rewrites claim bit-identity to the seed numbers.
+//
+// To regenerate after an intentional change:
+//
+//	go test ./internal/experiments -run TestGoldenTables -update
+//
+// and review the diff like any other code change.
+var updateGolden = flag.Bool("update", false, "rewrite the golden files with the current outputs")
+
+// goldenWorkspace fixes the configuration the goldens are pinned at: one
+// paper scientific workload, one paper commercial workload, and one workload
+// from the extended matrix, at the same small scale the unit tests use.
+func goldenWorkspace() *Workspace {
+	return NewWorkspace(Options{
+		Nodes: 4, Scale: 0.05, Seed: 5,
+		Workloads: []string{"em3d", "db2", "memkv"},
+	})
+}
+
+func TestGoldenTables(t *testing.T) {
+	w := goldenWorkspace()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl, err := e.Run(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := tbl.String()
+			path := filepath.Join("testdata", e.ID+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run `go test ./internal/experiments -run TestGoldenTables -update`): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s output drifted from the pinned golden.\n--- got ---\n%s--- want ---\n%s"+
+					"If the change is intentional, regenerate with -update and review the diff.",
+					e.ID, got, want)
+			}
+		})
+	}
+}

@@ -48,6 +48,22 @@ func Table3(w *Workspace) (Table, error) {
 	return t, nil
 }
 
+// simulatePair runs the paired baseline and TSE timing simulations for one
+// workload under the paper configuration — the shared core of Fig14 and the
+// suite-wide comparison, kept in one place so both tables always agree.
+func simulatePair(w *Workspace, data *WorkloadData) (base, withTSE timing.Result, err error) {
+	prof := data.Generator.Timing()
+	params := timing.Params{System: w.System(), Profile: prof, Nodes: w.Options().Nodes}
+	base, err = timing.Simulate(data.Trace, params)
+	if err != nil {
+		return base, withTSE, err
+	}
+	cfg := paperTSEConfig(w, prof.Lookahead)
+	params.TSE = &cfg
+	withTSE, err = timing.Simulate(data.Trace, params)
+	return base, withTSE, err
+}
+
 // Fig14 reproduces Figure 14: the execution-time breakdown of the base and
 // TSE systems (normalised to the base run) and the TSE speedup with a 95%
 // confidence interval from paired measurement segments.
@@ -66,15 +82,7 @@ func Fig14(w *Workspace) (Table, error) {
 		if err != nil {
 			return Table{}, err
 		}
-		prof := data.Generator.Timing()
-		params := timing.Params{System: w.System(), Profile: prof, Nodes: w.Options().Nodes}
-		base, err := timing.Simulate(data.Trace, params)
-		if err != nil {
-			return Table{}, err
-		}
-		cfg := paperTSEConfig(w, prof.Lookahead)
-		params.TSE = &cfg
-		withTSE, err := timing.Simulate(data.Trace, params)
+		base, withTSE, err := simulatePair(w, data)
 		if err != nil {
 			return Table{}, err
 		}

@@ -1,0 +1,124 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"tsm/internal/mem"
+	"tsm/internal/trace"
+)
+
+// encodeEvents renders a valid .tsm byte stream for seeding the fuzzer.
+func encodeEvents(tb testing.TB, meta Meta, events []trace.Event, chunkEvents int) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, meta)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if chunkEvents > 0 {
+		w.perCh = chunkEvents
+	}
+	for _, e := range events {
+		if err := w.Write(e); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzDecode feeds arbitrary bytes to the trace decoder. The decoder must
+// never panic: every input either decodes to a finite event stream ending in
+// io.EOF or fails with one of the codec's structured errors. The corpus is
+// seeded with small valid streams (several chunk geometries, empty streams,
+// negative block deltas, invalid producers) so the fuzzer starts from the
+// interesting part of the input space, plus a few hand-broken variants.
+func FuzzDecode(f *testing.F) {
+	meta := Meta{Workload: "db2", Nodes: 4, Scale: 0.25, Seed: 7}
+	events := []trace.Event{
+		{Kind: trace.KindWrite, Node: 0, Block: 0x1000, Producer: mem.InvalidNode},
+		{Kind: trace.KindConsumption, Node: 1, Block: 0x1000, Producer: 0},
+		{Kind: trace.KindConsumption, Node: 2, Block: 0x0040, Producer: 0}, // negative delta
+		{Kind: trace.KindReadMiss, Node: 3, Block: 1 << 40, Producer: mem.InvalidNode},
+		{Kind: trace.KindConsumption, Node: 3, Block: 0x2000, Producer: 2},
+	}
+	f.Add(encodeEvents(f, meta, events, 0))
+	f.Add(encodeEvents(f, meta, events, 2))       // multi-chunk
+	f.Add(encodeEvents(f, meta, nil, 0))          // empty stream
+	f.Add(encodeEvents(f, Meta{}, events[:1], 0)) // anonymous trace
+	valid := encodeEvents(f, meta, events, 0)
+	f.Add(valid[:len(valid)-3])           // truncated trailer
+	f.Add(valid[:9])                      // truncated metadata
+	f.Add([]byte("TSMS"))                 // magic only
+	f.Add([]byte{'T', 'S', 'M', 'S', 99}) // bad version
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			// Header rejection must be one of the structured errors (or an
+			// io error surfaced verbatim) — never a panic.
+			return
+		}
+		if r.Meta().Nodes > maxMetaNodes {
+			t.Fatalf("decoded metadata escaped the node bound: %+v", r.Meta())
+		}
+		var n uint64
+		for {
+			e, err := r.Next()
+			if err == io.EOF {
+				// A well-formed end: the trailer count matched.
+				break
+			}
+			if err != nil {
+				if errors.Is(err, ErrTruncated) || errors.Is(err, ErrCorrupt) {
+					return
+				}
+				t.Fatalf("decode failed with an unstructured error: %v", err)
+			}
+			if e.Seq != n {
+				t.Fatalf("event %d decoded with Seq %d; sequence numbers must be dense", n, e.Seq)
+			}
+			n++
+		}
+	})
+}
+
+// TestFuzzSeedsRoundTrip locks the seed corpus itself: every valid seed must
+// decode back to exactly the events it encodes.
+func TestFuzzSeedsRoundTrip(t *testing.T) {
+	meta := Meta{Workload: "db2", Nodes: 4, Scale: 0.25, Seed: 7}
+	events := []trace.Event{
+		{Kind: trace.KindWrite, Node: 0, Block: 0x1000, Producer: mem.InvalidNode},
+		{Kind: trace.KindConsumption, Node: 1, Block: 0x1000, Producer: 0},
+		{Kind: trace.KindConsumption, Node: 2, Block: 0x0040, Producer: 0},
+		{Kind: trace.KindReadMiss, Node: 3, Block: 1 << 40, Producer: mem.InvalidNode},
+		{Kind: trace.KindConsumption, Node: 3, Block: 0x2000, Producer: 2},
+	}
+	for _, chunk := range []int{0, 1, 2, 3} {
+		data := encodeEvents(t, meta, events, chunk)
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := Collect(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Len() != len(events) {
+			t.Fatalf("chunk=%d: decoded %d events, want %d", chunk, tr.Len(), len(events))
+		}
+		for i, e := range tr.Events {
+			want := events[i]
+			want.Seq = uint64(i)
+			if e != want {
+				t.Fatalf("chunk=%d event %d = %+v, want %+v", chunk, i, e, want)
+			}
+		}
+	}
+}

@@ -17,10 +17,12 @@ package timing
 
 import (
 	"fmt"
+	"io"
 	"math"
 
 	"tsm/internal/config"
 	"tsm/internal/mem"
+	"tsm/internal/stream"
 	"tsm/internal/trace"
 	"tsm/internal/tse"
 	"tsm/internal/workload"
@@ -148,6 +150,16 @@ type nodeState struct {
 
 // Simulate runs the timing model over a trace and returns the result.
 func Simulate(tr *trace.Trace, p Params) (Result, error) {
+	return SimulateSource(stream.TraceSource(tr), p)
+}
+
+// SimulateSource runs the timing model over a pull-based event stream. The
+// events are consumed one at a time in stream order — the trace is never
+// materialized — so a trace file of any size drives the cycle-level model in
+// bounded memory, and the result is bit-identical to Simulate over the
+// equivalent in-memory trace. A source error other than io.EOF aborts the
+// simulation and is returned.
+func SimulateSource(src stream.Source, p Params) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -246,7 +258,14 @@ func Simulate(tr *trace.Trace, p Params) (Result, error) {
 		return t
 	}
 
-	for _, e := range tr.Events {
+	for {
+		e, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Result{}, err
+		}
 		switch e.Kind {
 		case trace.KindWrite:
 			if sys != nil {

@@ -1,11 +1,13 @@
 package timing
 
 import (
+	"errors"
 	"testing"
 
 	"tsm/internal/coherence"
 	"tsm/internal/config"
 	"tsm/internal/mem"
+	"tsm/internal/stream"
 	"tsm/internal/trace"
 	"tsm/internal/tse"
 	"tsm/internal/workload"
@@ -240,3 +242,49 @@ func TestBreakdownHelpers(t *testing.T) {
 		t.Fatal("empty confidence should be zeros")
 	}
 }
+
+// TestSimulateSourceMatchesSimulate: the streamed timing entry point must be
+// bit-identical to the materialized one, for both the baseline and the TSE
+// configuration, on a real workload trace.
+func TestSimulateSourceMatchesSimulate(t *testing.T) {
+	gen := workload.NewEM3D(workload.Config{Nodes: 4, Seed: 11, Scale: 0.05})
+	eng := coherence.New(coherence.Config{Nodes: 4, Geometry: mem.DefaultGeometry(), PointersPerEntry: 2})
+	tr := eng.Run(gen.Generate())
+	for _, p := range []Params{baseParams(4, gen.Timing()), tseParams(4, gen.Timing())} {
+		want, err := Simulate(tr, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SimulateSource(stream.TraceSource(tr), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Breakdown != want.Breakdown || got.Consumptions != want.Consumptions ||
+			got.FullCovered != want.FullCovered || got.PartialCovered != want.PartialCovered ||
+			got.PartialLatencyHidden != want.PartialLatencyHidden || got.MeasuredMLP != want.MeasuredMLP {
+			t.Fatalf("streamed result %+v differs from Simulate result %+v", got, want)
+		}
+		if len(got.SegmentCycles) != len(want.SegmentCycles) {
+			t.Fatalf("segment count %d vs %d", len(got.SegmentCycles), len(want.SegmentCycles))
+		}
+		for i := range want.SegmentCycles {
+			if got.SegmentCycles[i] != want.SegmentCycles[i] {
+				t.Fatalf("segment %d: %d vs %d", i, got.SegmentCycles[i], want.SegmentCycles[i])
+			}
+		}
+	}
+}
+
+// failingSource always errors.
+type failingSource struct{}
+
+func (failingSource) Next() (trace.Event, error) { return trace.Event{}, errSourceBroken }
+
+func TestSimulateSourcePropagatesError(t *testing.T) {
+	if _, err := SimulateSource(failingSource{}, baseParams(2, scientificProfile())); err != errSourceBroken {
+		t.Fatalf("err = %v, want errSourceBroken", err)
+	}
+}
+
+// errSourceBroken is the sentinel error used by failingSource.
+var errSourceBroken = errors.New("timing test: source failed")

@@ -144,7 +144,8 @@ type Spec struct {
 	New func(Config) Generator
 }
 
-// Registry returns every workload in the paper's presentation order.
+// Registry returns every workload: the paper's seven applications in
+// presentation order, followed by the extended scenario matrix.
 func Registry() []Spec {
 	return []Spec{
 		{Name: "em3d", Class: Scientific,
@@ -168,6 +169,19 @@ func Registry() []Spec {
 		{Name: "zeus", Class: Commercial,
 			Parameters: "16K connections, fastCGI",
 			New:        func(c Config) Generator { return NewWebServer(c, "Zeus") }},
+		// Extended scenario matrix (beyond the paper's seven applications):
+		// the same Section 4 methodology — synthesise the sharing behaviour,
+		// not the computation — applied to workload classes the paper never
+		// measured. See each generator's doc comment for the sharing texture.
+		{Name: "memkv", Class: Commercial,
+			Parameters: "memcached-style KV store, Zipf(1.07) keys, 90/10 GET/SET",
+			New:        func(c Config) Generator { return NewKVStore(c) }},
+		{Name: "pagerank", Class: Scientific,
+			Parameters: "24K-vertex scale-free graph, 16 hubs, 30% cut edges",
+			New:        func(c Config) Generator { return NewPageRank(c) }},
+		{Name: "cdn", Class: Commercial,
+			Parameters: "600 multi-block objects, Zipf(1.05) popularity, origin refresh",
+			New:        func(c Config) Generator { return NewCDN(c) }},
 	}
 }
 

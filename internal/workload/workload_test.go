@@ -15,10 +15,10 @@ func testConfig() Config {
 
 func TestRegistryComplete(t *testing.T) {
 	specs := Registry()
-	if len(specs) != 7 {
-		t.Fatalf("registry has %d workloads, want 7", len(specs))
+	if len(specs) != 10 {
+		t.Fatalf("registry has %d workloads, want 10", len(specs))
 	}
-	wantOrder := []string{"em3d", "moldyn", "ocean", "apache", "db2", "oracle", "zeus"}
+	wantOrder := []string{"em3d", "moldyn", "ocean", "apache", "db2", "oracle", "zeus", "memkv", "pagerank", "cdn"}
 	for i, s := range specs {
 		if s.Name != wantOrder[i] {
 			t.Fatalf("registry[%d] = %q, want %q", i, s.Name, wantOrder[i])
@@ -147,7 +147,7 @@ func TestGeneratorsProduceConsumptions(t *testing.T) {
 
 func TestCommercialWorkloadsEmitSpins(t *testing.T) {
 	cfg := testConfig()
-	for _, name := range []string{"db2", "oracle", "apache", "zeus"} {
+	for _, name := range []string{"db2", "oracle", "apache", "zeus", "memkv"} {
 		spec, _ := ByName(name)
 		accesses := spec.New(cfg).Generate()
 		spins := 0
@@ -190,6 +190,19 @@ func TestScientificRepetitionAcrossIterations(t *testing.T) {
 	}
 	if float64(recurring) < 0.9*float64(len(seen)) {
 		t.Fatalf("only %d of %d consumed blocks recur; em3d should be highly repetitive", recurring, len(seen))
+	}
+}
+
+func TestPageRankDegeneratePartitions(t *testing.T) {
+	// Ceil-division partitioning can leave the last partition empty when the
+	// node count is large relative to the vertex count; generation must fall
+	// back to intra-partition edges instead of panicking on an empty range.
+	// Nodes=100, Scale=0.267 → 6408 vertices, per=ceil(6408/100)=65, so
+	// partition 99 spans [6435, 6408): empty.
+	cfg := Config{Nodes: 100, Seed: 3, Scale: 0.267, Geometry: mem.DefaultGeometry()}
+	g := NewPageRank(cfg)
+	if got := len(g.Generate()); got == 0 {
+		t.Fatalf("degenerate partitioning generated %d accesses", got)
 	}
 }
 

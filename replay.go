@@ -1,0 +1,134 @@
+package tsm
+
+// File replay through the streamed pipeline. LoadTrace + EvaluateTSE
+// materializes the whole event stream before evaluating it, which makes file
+// replay memory-bound on large traces. The functions here instead drive the
+// full TSE + timing stack directly from the trace file: every evaluation and
+// every timing simulation is one bounded-memory pass over a stream.Source,
+// and independent passes re-open the file rather than share a slice. The
+// reports are bit-identical to the in-memory path — proven by tests and
+// pinned by the golden-file harness in testdata/.
+
+import (
+	"fmt"
+
+	"tsm/internal/analysis"
+	"tsm/internal/stream"
+	"tsm/internal/timing"
+)
+
+// ReplayMeta reads just the generation metadata embedded in a trace file.
+func ReplayMeta(path string) (TraceMeta, error) {
+	f, err := stream.OpenFile(path)
+	if err != nil {
+		return TraceMeta{}, err
+	}
+	meta := f.Meta()
+	return meta, f.Close()
+}
+
+// replayContext rebuilds the generator, options and TSE configuration a
+// trace file's metadata describes.
+func replayContext(meta TraceMeta) (Generator, Options, error) {
+	gen, err := GeneratorFor(meta)
+	if err != nil {
+		return nil, Options{}, err
+	}
+	return gen, OptionsFor(meta), nil
+}
+
+// simulateFile runs one timing simulation as a single streaming pass over
+// the trace file.
+func simulateFile(path string, p timing.Params) (timing.Result, error) {
+	f, err := stream.OpenFile(path)
+	if err != nil {
+		return timing.Result{}, err
+	}
+	res, err := timing.SimulateSource(f, p)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return res, err
+}
+
+// EvaluateTSEFile evaluates the paper's TSE configuration on a saved trace
+// through the streamed pipeline: three bounded-memory passes over the file
+// (the trace-driven coverage model, the baseline timing model, and the TSE
+// timing model), using the generation metadata embedded in the file. The
+// trace is never materialized, and the Report is bit-identical to
+// EvaluateTSE over LoadTrace's in-memory events.
+func EvaluateTSEFile(path string) (Report, error) {
+	f, err := stream.OpenFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	gen, opts, err := replayContext(f.Meta())
+	if err != nil {
+		f.Close()
+		return Report{}, err
+	}
+	cfg := tseConfig(gen, opts)
+	cov, _, err := analysis.EvaluateTSEStream(cfg, f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return Report{}, fmt.Errorf("tsm: replaying %s: %w", path, err)
+	}
+
+	params := timingParams(gen, opts)
+	base, err := simulateFile(path, params)
+	if err != nil {
+		return Report{}, fmt.Errorf("tsm: replaying %s: %w", path, err)
+	}
+	params.TSE = &cfg
+	withTSE, err := simulateFile(path, params)
+	if err != nil {
+		return Report{}, fmt.Errorf("tsm: replaying %s: %w", path, err)
+	}
+	return tseReport(cov, base, withTSE), nil
+}
+
+// EvaluateAllFile runs the Figure 12 comparison — stride, both GHB variants
+// and TSE — on a saved trace through the streamed pipeline. Each model gets
+// its own bounded-memory pass over the file, and the independent passes run
+// in parallel over the worker pool. The reports are identical to EvaluateAll
+// (and therefore to the serial ComparePrefetchers) over the loaded trace, in
+// the same order.
+func EvaluateAllFile(path string) ([]Report, error) {
+	meta, err := ReplayMeta(path)
+	if err != nil {
+		return nil, err
+	}
+	gen, opts, err := replayContext(meta)
+	if err != nil {
+		return nil, err
+	}
+	cfg := tseConfig(gen, opts)
+	specs := analysis.BaselineSpecs(opts.Nodes)
+	return stream.RunOrdered(len(specs)+1, 0, func(i int) (Report, error) {
+		f, err := stream.OpenFile(path)
+		if err != nil {
+			return Report{}, err
+		}
+		defer f.Close()
+		if i < len(specs) {
+			r, err := analysis.EvaluateModelStream(specs[i].New(), f)
+			if err != nil {
+				return Report{}, fmt.Errorf("tsm: replaying %s: %w", path, err)
+			}
+			return Report{
+				Model: r.Name, Consumptions: r.Consumptions,
+				Coverage: r.Coverage(), Discards: r.DiscardRate(),
+			}, nil
+		}
+		cov, _, err := analysis.EvaluateTSEStream(cfg, f)
+		if err != nil {
+			return Report{}, fmt.Errorf("tsm: replaying %s: %w", path, err)
+		}
+		return Report{
+			Model: cov.Name, Consumptions: cov.Consumptions,
+			Coverage: cov.Coverage(), Discards: cov.DiscardRate(),
+		}, nil
+	})
+}

@@ -19,6 +19,7 @@ package tsm
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"tsm/internal/analysis"
@@ -59,7 +60,37 @@ func (o Options) normalize() Options {
 	return o
 }
 
-// Workloads returns the names of the seven workloads of the paper's suite in
+// Validate rejects structurally invalid options with an explicit error.
+// Zero values are "use the default" and remain valid; negative values are
+// almost always a caller bug (a subtraction gone wrong, a misparsed flag)
+// and are reported instead of being silently normalized away.
+func (o Options) Validate() error {
+	if o.Nodes < 0 {
+		return fmt.Errorf("tsm: Options.Nodes is negative (%d); use 0 for the default of 16", o.Nodes)
+	}
+	if o.Scale < 0 {
+		return fmt.Errorf("tsm: Options.Scale is negative (%g); use 0 for the default of 1.0", o.Scale)
+	}
+	if math.IsNaN(o.Scale) || math.IsInf(o.Scale, 0) {
+		return fmt.Errorf("tsm: Options.Scale is not finite (%v)", o.Scale)
+	}
+	if o.Lookahead < 0 {
+		return fmt.Errorf("tsm: Options.Lookahead is negative (%d); use 0 for the workload's Table 3 value", o.Lookahead)
+	}
+	return nil
+}
+
+// checked validates and then normalizes, the entry gate of every facade
+// function that can report errors.
+func (o Options) checked() (Options, error) {
+	if err := o.Validate(); err != nil {
+		return o, err
+	}
+	return o.normalize(), nil
+}
+
+// Workloads returns the names of the registered workloads — the paper's
+// seven-application suite followed by the extended scenario matrix — in
 // presentation order.
 func Workloads() []string { return workload.Names() }
 
@@ -95,7 +126,10 @@ type TraceMeta = stream.Meta
 // constant memory. It returns the generator (for timing profiles) and the
 // number of events emitted. The sink is not closed.
 func StreamTrace(name string, opts Options, sink EventSink) (Generator, uint64, error) {
-	opts = opts.normalize()
+	opts, err := opts.checked()
+	if err != nil {
+		return nil, 0, err
+	}
 	spec, ok := workload.ByName(strings.ToLower(name))
 	if !ok {
 		return nil, 0, fmt.Errorf("tsm: unknown workload %q (known: %s)", name, strings.Join(Workloads(), ", "))
@@ -103,7 +137,7 @@ func StreamTrace(name string, opts Options, sink EventSink) (Generator, uint64, 
 	gen := spec.New(workload.Config{Nodes: opts.Nodes, Seed: opts.Seed, Scale: opts.Scale})
 	eng := coherence.New(coherence.Config{Nodes: opts.Nodes, Geometry: config.DefaultSystem().Geometry, PointersPerEntry: 2})
 	var n uint64
-	err := eng.RunStream(gen.Generate(), func(e trace.Event) error {
+	err = eng.RunStream(gen.Generate(), func(e trace.Event) error {
 		if err := sink.Write(e); err != nil {
 			return err
 		}
@@ -125,11 +159,14 @@ func traceMeta(gen Generator, opts Options) TraceMeta {
 // (see internal/stream), embedding the generation metadata so LoadTrace and
 // cmd/tsesim can evaluate it in another process.
 func SaveTrace(path string, tr *Trace, gen Generator, opts Options) error {
-	opts = opts.normalize()
+	opts, err := opts.checked()
+	if err != nil {
+		return err
+	}
 	if tr == nil || gen == nil {
 		return fmt.Errorf("tsm: SaveTrace requires a trace and a generator")
 	}
-	_, err := stream.WriteFile(path, traceMeta(gen, opts), stream.TraceSource(tr))
+	_, err = stream.WriteFile(path, traceMeta(gen, opts), stream.TraceSource(tr))
 	return err
 }
 
@@ -159,7 +196,10 @@ func OptionsFor(meta TraceMeta) Options {
 // through the functional coherence engine, and returns the classified trace
 // together with the generator (whose Timing profile the timing model needs).
 func GenerateTrace(name string, opts Options) (*Trace, Generator, error) {
-	opts = opts.normalize()
+	opts, err := opts.checked()
+	if err != nil {
+		return nil, nil, err
+	}
 	spec, ok := workload.ByName(strings.ToLower(name))
 	if !ok {
 		return nil, nil, fmt.Errorf("tsm: unknown workload %q (known: %s)", name, strings.Join(Workloads(), ", "))
@@ -210,29 +250,21 @@ func tseConfig(gen Generator, opts Options) tse.Config {
 	return cfg
 }
 
-// EvaluateTSE runs the paper's TSE configuration over a trace: the
-// trace-driven coverage/discard model plus the timing model (baseline vs.
-// TSE) for the speedup.
-func EvaluateTSE(tr *Trace, gen Generator, opts Options) (Report, error) {
-	opts = opts.normalize()
-	if tr == nil || gen == nil {
-		return Report{}, fmt.Errorf("tsm: EvaluateTSE requires a trace and a generator")
-	}
-	cfg := tseConfig(gen, opts)
-	cov, _ := analysis.EvaluateTSE(cfg, tr)
-
+// timingParams builds the baseline timing parameters for a generator at the
+// given (normalized) options; setting params.TSE afterwards selects the TSE
+// run.
+func timingParams(gen Generator, opts Options) timing.Params {
 	sys := config.DefaultSystem()
 	sys.Nodes = opts.Nodes
-	params := timing.Params{System: sys, Profile: gen.Timing(), Nodes: opts.Nodes}
-	base, err := timing.Simulate(tr, params)
-	if err != nil {
-		return Report{}, err
-	}
-	params.TSE = &cfg
-	withTSE, err := timing.Simulate(tr, params)
-	if err != nil {
-		return Report{}, err
-	}
+	return timing.Params{System: sys, Profile: gen.Timing(), Nodes: opts.Nodes}
+}
+
+// tseReport assembles the facade Report from a coverage pass and the paired
+// baseline/TSE timing passes. It is the single definition of this
+// arithmetic: the in-memory pipeline (EvaluateTSE) and the streamed file
+// pipeline (EvaluateTSEFile) both end here, which is what keeps their
+// reports bit-identical by construction.
+func tseReport(cov analysis.CoverageResult, base, withTSE timing.Result) Report {
 	speedup := timing.Speedup(base, withTSE)
 	_, ci := timing.SpeedupConfidence(base, withTSE)
 	return Report{
@@ -242,14 +274,44 @@ func EvaluateTSE(tr *Trace, gen Generator, opts Options) (Report, error) {
 		Discards:     cov.DiscardRate(),
 		Speedup:      speedup,
 		SpeedupCI:    ci,
-	}, nil
+	}
+}
+
+// EvaluateTSE runs the paper's TSE configuration over a trace: the
+// trace-driven coverage/discard model plus the timing model (baseline vs.
+// TSE) for the speedup.
+func EvaluateTSE(tr *Trace, gen Generator, opts Options) (Report, error) {
+	opts, err := opts.checked()
+	if err != nil {
+		return Report{}, err
+	}
+	if tr == nil || gen == nil {
+		return Report{}, fmt.Errorf("tsm: EvaluateTSE requires a trace and a generator")
+	}
+	cfg := tseConfig(gen, opts)
+	cov, _ := analysis.EvaluateTSE(cfg, tr)
+
+	params := timingParams(gen, opts)
+	base, err := timing.Simulate(tr, params)
+	if err != nil {
+		return Report{}, err
+	}
+	params.TSE = &cfg
+	withTSE, err := timing.Simulate(tr, params)
+	if err != nil {
+		return Report{}, err
+	}
+	return tseReport(cov, base, withTSE), nil
 }
 
 // ComparePrefetchers evaluates the stride stream buffer, both GHB variants
 // and TSE on the same trace — the Figure 12 comparison — and returns one
 // report per technique, in that order.
 func ComparePrefetchers(tr *Trace, gen Generator, opts Options) ([]Report, error) {
-	opts = opts.normalize()
+	opts, err := opts.checked()
+	if err != nil {
+		return nil, err
+	}
 	if tr == nil {
 		return nil, fmt.Errorf("tsm: ComparePrefetchers requires a trace")
 	}
@@ -289,7 +351,10 @@ func ComparePrefetchers(tr *Trace, gen Generator, opts Options) ([]Report, error
 // TSE runs concurrently on its own worker. The reports are identical to
 // ComparePrefetchers (which evaluates serially), in the same order.
 func EvaluateAll(tr *Trace, gen Generator, opts Options) ([]Report, error) {
-	opts = opts.normalize()
+	opts, err := opts.checked()
+	if err != nil {
+		return nil, err
+	}
 	if tr == nil {
 		return nil, fmt.Errorf("tsm: EvaluateAll requires a trace")
 	}
@@ -321,7 +386,10 @@ func CorrelationOpportunity(tr *Trace, opts Options) []float64 {
 // RunExperiment regenerates one of the paper's tables or figures (see
 // Experiments for the identifiers) and returns its rendered text.
 func RunExperiment(id string, opts Options) (string, error) {
-	opts = opts.normalize()
+	opts, err := opts.checked()
+	if err != nil {
+		return "", err
+	}
 	exp, ok := experiments.ByID(id)
 	if !ok {
 		return "", fmt.Errorf("tsm: unknown experiment %q (known: %s)", id, strings.Join(Experiments(), ", "))
@@ -340,7 +408,10 @@ func RunExperiment(id string, opts Options) (string, error) {
 // tables are returned in the order requested and are identical to running
 // each experiment serially. An empty ids slice selects every experiment.
 func RunExperiments(ids []string, opts Options) ([]string, error) {
-	opts = opts.normalize()
+	opts, err := opts.checked()
+	if err != nil {
+		return nil, err
+	}
 	var exps []experiments.Experiment
 	if len(ids) == 0 {
 		exps = experiments.All()

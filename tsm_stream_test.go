@@ -78,6 +78,108 @@ func TestTraceFileRoundTripReport(t *testing.T) {
 	}
 }
 
+// TestFileReplayParityAllWorkloads is the PR's acceptance criterion: for
+// EVERY workload — the paper's seven and the extended matrix — evaluating a
+// saved .tsm through the streamed TSE + timing pipeline (EvaluateTSEFile,
+// three bounded-memory passes, no materialized trace) must be bit-identical
+// to loading the trace and running the in-memory pipeline.
+func TestFileReplayParityAllWorkloads(t *testing.T) {
+	opts := Options{Nodes: 4, Scale: 0.03, Seed: 11}
+	dir := t.TempDir()
+	for _, name := range Workloads() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			tr, gen, err := GenerateTrace(name, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := dir + "/" + name + ".tsm"
+			if err := SaveTrace(path, tr, gen, opts); err != nil {
+				t.Fatal(err)
+			}
+
+			// In-memory pipeline (the reference).
+			loaded, meta, err := LoadTrace(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gen2, err := GeneratorFor(meta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := EvaluateTSE(loaded, gen2, OptionsFor(meta))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Streamed pipeline.
+			got, err := EvaluateTSEFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("streamed report %+v != in-memory report %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestEvaluateAllFileMatchesEvaluateAll: the streamed Figure 12 comparison
+// over a trace file must reproduce the in-memory comparison exactly.
+func TestEvaluateAllFileMatchesEvaluateAll(t *testing.T) {
+	opts := testOpts()
+	tr, gen, err := GenerateTrace("memkv", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/memkv.tsm"
+	if err := SaveTrace(path, tr, gen, opts); err != nil {
+		t.Fatal(err)
+	}
+	want, err := EvaluateAll(tr, gen, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := EvaluateAllFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d reports, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("report %d: streamed %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if _, err := EvaluateAllFile(t.TempDir() + "/missing.tsm"); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+// TestReplayMeta: the metadata-only read must match what LoadTrace decodes.
+func TestReplayMeta(t *testing.T) {
+	opts := testOpts()
+	tr, gen, err := GenerateTrace("cdn", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/cdn.tsm"
+	if err := SaveTrace(path, tr, gen, opts); err != nil {
+		t.Fatal(err)
+	}
+	meta, err := ReplayMeta(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Workload != "cdn" || meta.Nodes != opts.Nodes || meta.Scale != opts.Scale || meta.Seed != opts.Seed {
+		t.Fatalf("meta = %+v, want the generation options", meta)
+	}
+	if _, err := ReplayMeta(path + ".missing"); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
 // TestEvaluateAllMatchesComparePrefetchers: the parallel suite evaluation
 // must reproduce the serial comparison exactly, in the same order.
 func TestEvaluateAllMatchesComparePrefetchers(t *testing.T) {

@@ -1,8 +1,11 @@
 package tsm
 
 import (
+	"math"
 	"strings"
 	"testing"
+
+	"tsm/internal/stream"
 )
 
 func testOpts() Options {
@@ -10,10 +13,10 @@ func testOpts() Options {
 }
 
 func TestWorkloadsAndExperiments(t *testing.T) {
-	if len(Workloads()) != 7 {
+	if len(Workloads()) != 10 {
 		t.Fatalf("Workloads() = %v", Workloads())
 	}
-	if len(Experiments()) != 12 {
+	if len(Experiments()) != 13 {
 		t.Fatalf("Experiments() = %v", Experiments())
 	}
 }
@@ -21,6 +24,68 @@ func TestWorkloadsAndExperiments(t *testing.T) {
 func TestGenerateTraceUnknownWorkload(t *testing.T) {
 	if _, _, err := GenerateTrace("nope", testOpts()); err == nil {
 		t.Fatal("unknown workload should error")
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	// Zero values select defaults and stay valid.
+	if err := (Options{}).Validate(); err != nil {
+		t.Fatalf("zero options should validate, got %v", err)
+	}
+	cases := []struct {
+		name string
+		opts Options
+		want string
+	}{
+		{"negative nodes", Options{Nodes: -4}, "Nodes"},
+		{"negative scale", Options{Scale: -0.5}, "Scale"},
+		{"NaN scale", Options{Scale: math.NaN()}, "Scale"},
+		{"infinite scale", Options{Scale: math.Inf(1)}, "Scale"},
+		{"negative lookahead", Options{Lookahead: -8}, "Lookahead"},
+	}
+	for _, c := range cases {
+		err := c.opts.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate() = nil, want error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not name the bad field %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestOptionsValidationPropagates: every facade entry point that can report
+// errors must reject invalid options instead of silently normalizing them.
+func TestOptionsValidationPropagates(t *testing.T) {
+	bad := Options{Nodes: -1}
+	if _, _, err := GenerateTrace("em3d", bad); err == nil {
+		t.Error("GenerateTrace should reject negative nodes")
+	}
+	if _, _, err := StreamTrace("em3d", bad, &stream.TraceSink{}); err == nil {
+		t.Error("StreamTrace should reject negative nodes")
+	}
+	tr, gen, err := GenerateTrace("em3d", testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveTrace(t.TempDir()+"/x.tsm", tr, gen, bad); err == nil {
+		t.Error("SaveTrace should reject negative nodes")
+	}
+	if _, err := EvaluateTSE(tr, gen, Options{Scale: -1}); err == nil {
+		t.Error("EvaluateTSE should reject negative scale")
+	}
+	if _, err := ComparePrefetchers(tr, gen, Options{Lookahead: -2}); err == nil {
+		t.Error("ComparePrefetchers should reject negative lookahead")
+	}
+	if _, err := EvaluateAll(tr, gen, bad); err == nil {
+		t.Error("EvaluateAll should reject negative nodes")
+	}
+	if _, err := RunExperiment("table1", bad); err == nil {
+		t.Error("RunExperiment should reject negative nodes")
+	}
+	if _, err := RunExperiments([]string{"table1"}, bad); err == nil {
+		t.Error("RunExperiments should reject negative nodes")
 	}
 }
 
