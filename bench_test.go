@@ -526,11 +526,14 @@ func BenchmarkWorkloadGeneration(b *testing.B) {
 	}
 }
 
-// BenchmarkFileReplay compares the two full-pipeline file-replay paths: the
-// materializing one (LoadTrace + EvaluateTSE) and the streamed one
-// (EvaluateTSEFile, three bounded-memory passes over the file). The reports
-// are bit-identical; the streamed path trades repeated decoding for a
-// memory footprint independent of the trace length.
+// BenchmarkFileReplay compares the three full-pipeline file-replay paths:
+// the materializing one (LoadTrace + EvaluateTSE), the multipass streamed
+// reference (EvaluateTSEFileMultipass — one bounded-memory decode pass per
+// consumer, three in total), and the fused streamed engine (EvaluateTSEFile
+// — ONE decode pass teed into all three consumers by internal/pipeline).
+// The reports are bit-identical; the fused path removes two of the three
+// codec passes that dominate streamed replay cost while keeping the memory
+// footprint independent of the trace length.
 func BenchmarkFileReplay(b *testing.B) {
 	opts := Options{Nodes: 16, Scale: *benchScale, Seed: 1}
 	tr, gen, err := GenerateTrace("db2", opts)
@@ -558,13 +561,42 @@ func BenchmarkFileReplay(b *testing.B) {
 			b.ReportMetric(100*rep.Coverage, "coverage_pct")
 		}
 	})
-	b.Run("streamed", func(b *testing.B) {
+	b.Run("multipass", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rep, err := EvaluateTSEFileMultipass(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(100*rep.Coverage, "coverage_pct")
+			b.ReportMetric(3, "decode_passes")
+		}
+	})
+	b.Run("fused", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			rep, err := EvaluateTSEFile(path)
 			if err != nil {
 				b.Fatal(err)
 			}
 			b.ReportMetric(100*rep.Coverage, "coverage_pct")
+			b.ReportMetric(1, "decode_passes")
+		}
+	})
+	// The Figure 12 comparison fans out to four models; fused still decodes
+	// once, multipass four times (in parallel over the worker pool).
+	b.Run("compare-multipass", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := EvaluateAllFileMultipass(path); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(4, "decode_passes")
+		}
+	})
+	b.Run("compare-fused", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := EvaluateAllFile(path); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(1, "decode_passes")
 		}
 	})
 }

@@ -76,12 +76,12 @@ func main() {
 
 // writeStreamed pipes the engine's event stream into a trace file, feeding
 // each event to observe on the way past.
-func writeStreamed(path string, meta stream.Meta, eng *coherence.Engine, accesses []mem.Access, observe func(trace.Event)) error {
+func writeStreamed(path string, meta stream.Meta, eng *coherence.Engine, accesses []mem.Access, observe func(trace.Event)) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() { err = stream.CloseMerge(f, err) }()
 	w, err := stream.NewWriter(f, meta)
 	if err != nil {
 		return err
@@ -92,10 +92,7 @@ func writeStreamed(path string, meta stream.Meta, eng *coherence.Engine, accesse
 	}); err != nil {
 		return err
 	}
-	if err := w.Close(); err != nil {
-		return err
-	}
-	return f.Close()
+	return w.Close()
 }
 
 func printSummary(spec workload.Spec, gen workload.Generator, accesses int, events uint64, perNode []int, eng *coherence.Engine) {

@@ -15,10 +15,13 @@
 // file, so the report is identical to evaluating the trace in the process
 // that generated it. Replay streams the file through the full TSE + timing
 // pipeline in bounded memory — the trace is never materialized, so files of
-// any size replay in constant space; -inmem restores the materializing path
-// (the reports are bit-identical either way). Batches of experiments run in
-// parallel over a shared workspace (each workload's trace is generated
-// exactly once); -serial restores the one-at-a-time path.
+// any size replay in constant space — and by default the file is decoded
+// exactly ONCE: the single decode pass is teed into every consumer by the
+// fan-out engine in internal/pipeline. -multipass restores the reference
+// path that decodes the file once per consumer, and -inmem the materializing
+// path (the reports are bit-identical in all three modes). Batches of
+// experiments run in parallel over a shared workspace (each workload's trace
+// is generated exactly once); -serial restores the one-at-a-time path.
 //
 // The output of each experiment is a plain-text table whose rows mirror the
 // corresponding table or figure in the paper; EXPERIMENTS.md records a
@@ -47,6 +50,7 @@ func main() {
 		input        = flag.String("i", "", "evaluate a trace file written by tracegen -o instead of running experiments")
 		compare      = flag.Bool("compare", false, "with -i: evaluate all Figure 12 models, not just TSE")
 		inmem        = flag.Bool("inmem", false, "with -i: materialize the trace instead of streaming it (same reports)")
+		multipass    = flag.Bool("multipass", false, "with -i: decode the file once per consumer instead of fusing into one pass (same reports)")
 		serial       = flag.Bool("serial", false, "run experiments one at a time instead of in parallel")
 		list         = flag.Bool("list", false, "list available experiments and workloads, then exit")
 		quiet        = flag.Bool("quiet", false, "suppress progress messages")
@@ -66,7 +70,11 @@ func main() {
 	}
 
 	if *input != "" {
-		if err := replayTrace(*input, *compare, *inmem, *quiet); err != nil {
+		if *inmem && *multipass {
+			fmt.Fprintln(os.Stderr, "tsesim: -inmem and -multipass are mutually exclusive (both are alternatives to the fused streamed path)")
+			os.Exit(2)
+		}
+		if err := replayTrace(*input, *compare, *inmem, *multipass, *quiet); err != nil {
 			fmt.Fprintf(os.Stderr, "tsesim: %v\n", err)
 			os.Exit(1)
 		}
@@ -136,11 +144,16 @@ func main() {
 // replayTrace evaluates a trace file through the public facade, using the
 // embedded metadata to rebuild the generator, so the reports match the
 // generating process bit for bit. The default path streams the file through
-// the full TSE + timing pipeline in bounded memory; inmem materializes the
-// trace first (identical reports, memory proportional to the trace).
-func replayTrace(path string, compare, inmem, quiet bool) error {
+// the full TSE + timing pipeline in bounded memory with exactly one decode
+// pass teed into every consumer; multipass restores the decode-per-consumer
+// reference path, and inmem materializes the trace first (identical reports
+// in every mode, memory proportional to the trace only with inmem).
+func replayTrace(path string, compare, inmem, multipass, quiet bool) error {
 	start := time.Now()
-	mode := "streamed"
+	mode := "streamed, fused single decode"
+	if multipass {
+		mode = "streamed, decode per consumer"
+	}
 	if inmem {
 		mode = "in-memory"
 	}
@@ -176,9 +189,16 @@ func replayTrace(path string, compare, inmem, quiet bool) error {
 		if !quiet {
 			fmt.Printf("trace: %s (%s)\n", meta, mode)
 		}
-		if compare {
+		switch {
+		case compare && multipass:
+			reports, err = tsm.EvaluateAllFileMultipass(path)
+		case compare:
 			reports, err = tsm.EvaluateAllFile(path)
-		} else {
+		case multipass:
+			var rep tsm.Report
+			rep, err = tsm.EvaluateTSEFileMultipass(path)
+			reports = []tsm.Report{rep}
+		default:
 			var rep tsm.Report
 			rep, err = tsm.EvaluateTSEFile(path)
 			reports = []tsm.Report{rep}

@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"tsm/internal/prefetch"
+	"tsm/internal/stream"
+	"tsm/internal/tse"
+)
+
+// The consumer adapters below let the coverage evaluations ride the
+// single-decode fan-out engine in internal/pipeline: each implements
+// Run(stream.Source) error (pipeline.Consumer, satisfied structurally — this
+// package does not import pipeline) by draining its private tee of the
+// stream and storing the result for the caller to collect once the pipeline
+// run returns.
+
+// ModelConsumer evaluates one baseline prefetcher over its tee of the
+// stream. After a successful Run, Result holds the coverage summary.
+type ModelConsumer struct {
+	model prefetch.Model
+	// Result is the coverage summary, valid after Run returns nil.
+	Result CoverageResult
+}
+
+// NewModelConsumer wraps a baseline prefetcher model.
+func NewModelConsumer(m prefetch.Model) *ModelConsumer {
+	return &ModelConsumer{model: m}
+}
+
+// Run implements the pipeline consumer contract.
+func (c *ModelConsumer) Run(src stream.Source) error {
+	res, err := EvaluateModelStream(c.model, src)
+	c.Result = res
+	return err
+}
+
+// TSEConsumer evaluates the trace-driven TSE coverage model over its tee of
+// the stream. After a successful Run, Result holds the common coverage
+// summary and Full the complete tse.Result (stream lengths, traffic, CMOB
+// footprint).
+type TSEConsumer struct {
+	cfg tse.Config
+	// Result is the coverage summary, valid after Run returns nil.
+	Result CoverageResult
+	// Full is the complete TSE result, valid after Run returns nil.
+	Full tse.Result
+}
+
+// NewTSEConsumer wraps a TSE system model built from cfg at Run time.
+func NewTSEConsumer(cfg tse.Config) *TSEConsumer {
+	return &TSEConsumer{cfg: cfg}
+}
+
+// Run implements the pipeline consumer contract.
+func (c *TSEConsumer) Run(src stream.Source) error {
+	cov, full, err := EvaluateTSEStream(c.cfg, src)
+	c.Result, c.Full = cov, full
+	return err
+}

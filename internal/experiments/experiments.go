@@ -267,6 +267,7 @@ func All() []Experiment {
 		{ID: "table3", Title: "Streaming timeliness (Table 3)", Run: Table3},
 		{ID: "fig14", Title: "Performance improvement from TSE (Figure 14)", Run: Fig14},
 		{ID: "suite", Title: "Suite-wide TSE comparison (full workload matrix)", Run: Suite},
+		{ID: "sensitivity", Title: "TSE coverage sensitivity to node count (4/16/32/64)", Run: Sensitivity},
 	}
 }
 

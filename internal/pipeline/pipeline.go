@@ -1,0 +1,265 @@
+// Package pipeline is the single-decode fan-out replay engine: it tees ONE
+// pass over a stream.Source into N independent consumers, each running on its
+// own goroutine behind a bounded channel.
+//
+// The paper's evaluation is inherently multi-consumer — one memory-access
+// stream feeds the TSE coverage model, the baseline timing model and the TSE
+// timing model — yet before this package existed the file-replay facade
+// decoded the trace file once per consumer, so the varint/delta codec pass
+// dominated streamed replay cost (see BenchmarkFileReplay). The engine here
+// decodes the stream exactly once and broadcasts chunk-batched events to
+// every consumer:
+//
+//   - events are batched into chunks to amortize channel operations (one send
+//     per chunk per consumer instead of one per event);
+//   - channels are bounded, so a slow consumer exerts backpressure on the
+//     producer instead of forcing unbounded buffering — replay stays
+//     bounded-memory no matter how large the trace file is;
+//   - each consumer observes the events in exactly the decode order
+//     (deterministic per-consumer ordering), which is what lets the fused
+//     replay produce reports bit-identical to independent passes;
+//   - the first consumer failure cancels the producer and every other
+//     consumer promptly (their sources return ErrCanceled), and a decode
+//     error is delivered to every consumer as its terminal source error.
+//
+// Consumers only need to implement Run(stream.Source) error, so any existing
+// pull-based evaluation loop (tse.System.RunSource, timing.SimulateSource,
+// analysis.EvaluateModelStream) adapts without modification.
+package pipeline
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"tsm/internal/stream"
+	"tsm/internal/trace"
+)
+
+// ErrCanceled is the terminal error a consumer's source returns once another
+// consumer has failed: the stream ends early through no fault of this
+// consumer. Run never returns ErrCanceled itself — it reports the error that
+// caused the cancellation.
+var ErrCanceled = errors.New("pipeline: canceled by another consumer's error")
+
+// Consumer is one independent destination of the fan-out: Run drains the
+// source to io.EOF (or fails) and stores whatever result it computes.
+// Implementations receive their own private Source and run on their own
+// goroutine. Events arrive by value from Next (the chunk slices shared
+// between consumers never escape the engine), so a Consumer may keep them
+// freely; a Consumer that returns before io.EOF is fine too — once every
+// consumer has returned, the engine stops decoding.
+type Consumer interface {
+	Run(src stream.Source) error
+}
+
+// ConsumerFunc adapts a function to the Consumer interface.
+type ConsumerFunc func(src stream.Source) error
+
+// Run implements Consumer.
+func (f ConsumerFunc) Run(src stream.Source) error { return f(src) }
+
+// DefaultChunkEvents is the number of events batched per broadcast chunk.
+const DefaultChunkEvents = 1024
+
+// DefaultChunkBuffer is the number of chunks buffered per consumer channel;
+// together with the chunk size it bounds how far the decoder may run ahead
+// of the slowest consumer.
+const DefaultChunkBuffer = 4
+
+// Config tunes the engine. The zero value selects the defaults.
+type Config struct {
+	// ChunkEvents is the number of events batched per chunk (default
+	// DefaultChunkEvents).
+	ChunkEvents int
+	// ChunkBuffer is the per-consumer channel capacity in chunks (default
+	// DefaultChunkBuffer).
+	ChunkBuffer int
+}
+
+func (c Config) normalize() Config {
+	if c.ChunkEvents <= 0 {
+		c.ChunkEvents = DefaultChunkEvents
+	}
+	if c.ChunkBuffer <= 0 {
+		c.ChunkBuffer = DefaultChunkBuffer
+	}
+	return c
+}
+
+// Run tees a single decode pass over src into every consumer with the
+// default configuration. See Config.Run.
+func Run(src stream.Source, consumers ...Consumer) error {
+	return Config{}.Run(src, consumers...)
+}
+
+// item is one broadcast unit: a chunk of events, or a terminal decode error.
+type item struct {
+	events []trace.Event
+	err    error
+}
+
+// chanSource adapts a consumer's chunk channel to the stream.Source pulled
+// by the consumer's evaluation loop. Terminal conditions arrive strictly in
+// band, so a consumer always observes every event broadcast to it before any
+// ending: a closed channel is a clean end of stream (io.EOF), and an item
+// carrying an error — the producer's terminal decode error, or ErrCanceled
+// after another consumer failed — is this source's own terminal error.
+type chanSource struct {
+	ch  <-chan item
+	cur []trace.Event
+	pos int
+	err error
+}
+
+// Next implements stream.Source.
+func (s *chanSource) Next() (trace.Event, error) {
+	if s.err != nil {
+		return trace.Event{}, s.err
+	}
+	for s.pos >= len(s.cur) {
+		it, ok := <-s.ch
+		if !ok {
+			s.err = io.EOF
+			return trace.Event{}, io.EOF
+		}
+		if it.err != nil {
+			s.err = it.err
+			return trace.Event{}, it.err
+		}
+		s.cur, s.pos = it.events, 0
+	}
+	e := s.cur[s.pos]
+	s.pos++
+	return e, nil
+}
+
+// Run decodes src exactly once and broadcasts the events to every consumer
+// over bounded channels, blocking until the producer and all consumers have
+// finished (no goroutine outlives the call). With zero consumers it returns
+// nil without reading src; with one consumer it runs the consumer directly
+// on the caller's goroutine (no channels needed — a plain single pass).
+//
+// On success every consumer has drained the full stream in decode order. On
+// failure Run returns the first error in consumer order — a consumer's own
+// failure, or the decode error every consumer observed — never ErrCanceled.
+func (c Config) Run(src stream.Source, consumers ...Consumer) error {
+	switch len(consumers) {
+	case 0:
+		return nil
+	case 1:
+		return consumers[0].Run(src)
+	}
+	c = c.normalize()
+
+	chans := make([]chan item, len(consumers))
+	for i := range chans {
+		chans[i] = make(chan item, c.ChunkBuffer)
+	}
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	cancel := func() { stopOnce.Do(func() { close(stop) }) }
+
+	// broadcast delivers one chunk to every consumer, honouring
+	// backpressure; it reports false once a cancellation makes further
+	// decoding pointless (the stop channel only ever unblocks the PRODUCER —
+	// consumers learn of every ending in band, via sendAll).
+	broadcast := func(it item) bool {
+		for _, ch := range chans {
+			select {
+			case ch <- it:
+			case <-stop:
+				return false
+			}
+		}
+		return true
+	}
+
+	// sendAll delivers a terminal item to every consumer unconditionally.
+	// The blocking sends cannot deadlock: a consumer goroutine drains its
+	// channel until it is closed, both inside Run and after Run returns.
+	// Delivering terminal errors in band (behind any buffered chunks) is
+	// what makes the error a consumer observes deterministic: it sees every
+	// event that was broadcast to it, then the ending.
+	sendAll := func(it item) {
+		for _, ch := range chans {
+			ch <- it
+		}
+	}
+
+	var wg sync.WaitGroup
+
+	// Producer: the single decode pass.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			for _, ch := range chans {
+				close(ch)
+			}
+		}()
+		for {
+			select {
+			case <-stop:
+				sendAll(item{err: ErrCanceled})
+				return
+			default:
+			}
+			chunk := make([]trace.Event, 0, c.ChunkEvents)
+			var terminal error
+			for len(chunk) < c.ChunkEvents {
+				e, err := src.Next()
+				if err != nil {
+					terminal = err
+					break
+				}
+				chunk = append(chunk, e)
+			}
+			if len(chunk) > 0 && !broadcast(item{events: chunk}) {
+				sendAll(item{err: ErrCanceled})
+				return
+			}
+			if terminal == io.EOF {
+				return // closing the channels is the consumers' io.EOF
+			}
+			if terminal != nil {
+				sendAll(item{err: terminal})
+				return
+			}
+		}
+	}()
+
+	// Consumers: one goroutine each, draining their channel after Run so an
+	// early return (error or a consumer that stops before io.EOF) can never
+	// wedge the producer on a full channel.
+	errs := make([]error, len(consumers))
+	var remaining atomic.Int32
+	remaining.Store(int32(len(consumers)))
+	for i, consumer := range consumers {
+		wg.Add(1)
+		go func(i int, consumer Consumer) {
+			defer wg.Done()
+			err := consumer.Run(&chanSource{ch: chans[i]})
+			errs[i] = err
+			if err != nil && !errors.Is(err, ErrCanceled) {
+				cancel()
+			}
+			// Once every consumer has returned — cleanly before io.EOF
+			// included — further decoding serves nobody: stop the producer.
+			if remaining.Add(-1) == 0 {
+				cancel()
+			}
+			for range chans[i] {
+			}
+		}(i, consumer)
+	}
+
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, ErrCanceled) {
+			return err
+		}
+	}
+	return nil
+}

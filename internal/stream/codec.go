@@ -351,11 +351,7 @@ func WriteFile(path string, meta Meta, src Source) (n uint64, err error) {
 	if err != nil {
 		return 0, err
 	}
-	defer func() {
-		if cerr := f.Close(); cerr != nil && err == nil {
-			err = cerr
-		}
-	}()
+	defer func() { err = CloseMerge(f, err) }()
 	w, err := NewWriter(f, meta)
 	if err != nil {
 		return 0, err
@@ -395,9 +391,8 @@ func LoadFile(path string) (*trace.Trace, Meta, error) {
 	if err != nil {
 		return nil, Meta{}, err
 	}
-	defer r.Close()
 	tr, err := Collect(r)
-	if err != nil {
+	if err = CloseMerge(r, err); err != nil {
 		return nil, r.Meta(), err
 	}
 	return tr, r.Meta(), nil

@@ -96,3 +96,34 @@ func TestRunOrdered(t *testing.T) {
 		t.Fatalf("serial RunOrdered = %v, %v", out, err)
 	}
 }
+
+// closerFunc adapts a function to io.Closer for CloseMerge tests.
+type closerFunc func() error
+
+func (f closerFunc) Close() error { return f() }
+
+// TestCloseMerge: the primary error always wins; the close error is adopted
+// only when there is nothing to mask, and the closer runs on every path.
+func TestCloseMerge(t *testing.T) {
+	primary := errors.New("primary")
+	closeErr := errors.New("close failed")
+	closed := 0
+	count := closerFunc(func() error { closed++; return nil })
+	failing := closerFunc(func() error { closed++; return closeErr })
+
+	if err := CloseMerge(count, nil); err != nil {
+		t.Fatalf("nil + clean close = %v", err)
+	}
+	if err := CloseMerge(failing, nil); err != closeErr {
+		t.Fatalf("nil + failing close = %v, want the close error", err)
+	}
+	if err := CloseMerge(failing, primary); err != primary {
+		t.Fatalf("primary + failing close = %v, want the primary error", err)
+	}
+	if err := CloseMerge(count, primary); err != primary {
+		t.Fatalf("primary + clean close = %v, want the primary error", err)
+	}
+	if closed != 4 {
+		t.Fatalf("closer ran %d times, want 4 (every path closes)", closed)
+	}
+}

@@ -359,6 +359,26 @@ func SimulateSource(src stream.Source, p Params) (Result, error) {
 	return res, nil
 }
 
+// Consumer adapts SimulateSource to the single-decode fan-out engine in
+// internal/pipeline (whose Consumer interface it satisfies structurally):
+// Run drains its private tee of the stream through the timing model and
+// stores the result.
+type Consumer struct {
+	params Params
+	// Result is the simulation result, valid after Run returns nil.
+	Result Result
+}
+
+// NewConsumer wraps one timing simulation at the given parameters.
+func NewConsumer(p Params) *Consumer { return &Consumer{params: p} }
+
+// Run implements the pipeline consumer contract.
+func (c *Consumer) Run(src stream.Source) error {
+	res, err := SimulateSource(src, c.params)
+	c.Result = res
+	return err
+}
+
 // Speedup returns base execution time divided by the comparison execution
 // time.
 func Speedup(base, other Result) float64 {

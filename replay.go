@@ -3,16 +3,20 @@ package tsm
 // File replay through the streamed pipeline. LoadTrace + EvaluateTSE
 // materializes the whole event stream before evaluating it, which makes file
 // replay memory-bound on large traces. The functions here instead drive the
-// full TSE + timing stack directly from the trace file: every evaluation and
-// every timing simulation is one bounded-memory pass over a stream.Source,
-// and independent passes re-open the file rather than share a slice. The
-// reports are bit-identical to the in-memory path — proven by tests and
+// full TSE + timing stack directly from the trace file in bounded memory,
+// decoding each trace file exactly ONCE: a single decode pass is teed into
+// every consumer (the coverage model, the baseline timing model, the TSE
+// timing model, the Figure 12 baselines) by the fan-out engine in
+// internal/pipeline, with each consumer on its own goroutine behind a
+// bounded channel. The reports are bit-identical to the in-memory path and
+// to the retained multipass reference implementations — proven by tests and
 // pinned by the golden-file harness in testdata/.
 
 import (
 	"fmt"
 
 	"tsm/internal/analysis"
+	"tsm/internal/pipeline"
 	"tsm/internal/stream"
 	"tsm/internal/timing"
 )
@@ -37,6 +41,112 @@ func replayContext(meta TraceMeta) (Generator, Options, error) {
 	return gen, OptionsFor(meta), nil
 }
 
+// coverageReport converts a coverage summary into the facade Report shape.
+func coverageReport(r analysis.CoverageResult) Report {
+	return Report{
+		Model: r.Name, Consumptions: r.Consumptions,
+		Coverage: r.Coverage(), Discards: r.DiscardRate(),
+	}
+}
+
+// EvaluateTSESource evaluates the paper's TSE configuration over a single
+// pass of an event source: ONE decode of src is teed into the trace-driven
+// coverage model, the baseline timing model and the TSE timing model, each
+// running concurrently on its own goroutine behind a bounded channel. The
+// events are never materialized, and the Report is bit-identical to
+// EvaluateTSE over the equivalent in-memory trace. meta names the workload
+// the source was generated from (as embedded in trace files).
+func EvaluateTSESource(src EventSource, meta TraceMeta) (Report, error) {
+	gen, opts, err := replayContext(meta)
+	if err != nil {
+		return Report{}, err
+	}
+	cfg := tseConfig(gen, opts)
+	cov := analysis.NewTSEConsumer(cfg)
+	params := timingParams(gen, opts)
+	base := timing.NewConsumer(params)
+	tseParams := params
+	tseParams.TSE = &cfg
+	withTSE := timing.NewConsumer(tseParams)
+	if err := pipeline.Run(src, cov, base, withTSE); err != nil {
+		return Report{}, err
+	}
+	return tseReport(cov.Result, base.Result, withTSE.Result), nil
+}
+
+// EvaluateTSEFile evaluates the paper's TSE configuration on a saved trace
+// through the fused streamed pipeline: the file is decoded exactly once and
+// the single pass feeds all three consumers (see EvaluateTSESource), using
+// the generation metadata embedded in the file. The trace is never
+// materialized, and the Report is bit-identical to EvaluateTSE over
+// LoadTrace's in-memory events and to EvaluateTSEFileMultipass.
+func EvaluateTSEFile(path string) (Report, error) {
+	f, err := stream.OpenFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	rep, err := EvaluateTSESource(f, f.Meta())
+	if err = stream.CloseMerge(f, err); err != nil {
+		return Report{}, fmt.Errorf("tsm: replaying %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// EvaluateAllSource runs the Figure 12 comparison — stride, both GHB
+// variants and TSE — over a single pass of an event source: ONE decode of
+// src is teed into all four models concurrently. The reports are identical
+// to EvaluateAll (and therefore to the serial ComparePrefetchers) over the
+// equivalent in-memory trace, in the same order.
+func EvaluateAllSource(src EventSource, meta TraceMeta) ([]Report, error) {
+	gen, opts, err := replayContext(meta)
+	if err != nil {
+		return nil, err
+	}
+	cfg := tseConfig(gen, opts)
+	specs := analysis.BaselineSpecs(opts.Nodes)
+	models := make([]*analysis.ModelConsumer, len(specs))
+	consumers := make([]pipeline.Consumer, 0, len(specs)+1)
+	for i, spec := range specs {
+		models[i] = analysis.NewModelConsumer(spec.New())
+		consumers = append(consumers, models[i])
+	}
+	tseCov := analysis.NewTSEConsumer(cfg)
+	consumers = append(consumers, tseCov)
+	if err := pipeline.Run(src, consumers...); err != nil {
+		return nil, err
+	}
+	reports := make([]Report, 0, len(consumers))
+	for _, m := range models {
+		reports = append(reports, coverageReport(m.Result))
+	}
+	return append(reports, coverageReport(tseCov.Result)), nil
+}
+
+// EvaluateAllFile runs the Figure 12 comparison on a saved trace through the
+// fused streamed pipeline: the file is decoded exactly once and the single
+// pass feeds every model (see EvaluateAllSource). The reports are identical
+// to EvaluateAll over the loaded trace, in the same order.
+func EvaluateAllFile(path string) ([]Report, error) {
+	f, err := stream.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	reports, err := EvaluateAllSource(f, f.Meta())
+	if err = stream.CloseMerge(f, err); err != nil {
+		return nil, fmt.Errorf("tsm: replaying %s: %w", path, err)
+	}
+	return reports, nil
+}
+
+// --- Multipass reference implementations ---------------------------------
+//
+// The pre-fusion replay paths — one decode pass per consumer, re-opening the
+// file each time — are retained as differential-testing references: the
+// parity tests, the fused-vs-multipass CI diff and BenchmarkFileReplay all
+// compare the fused engine against them. They produce bit-identical reports
+// by construction (same consumers, same event order) while costing one codec
+// pass per consumer instead of one in total.
+
 // simulateFile runs one timing simulation as a single streaming pass over
 // the trace file.
 func simulateFile(path string, p timing.Params) (timing.Result, error) {
@@ -45,19 +155,14 @@ func simulateFile(path string, p timing.Params) (timing.Result, error) {
 		return timing.Result{}, err
 	}
 	res, err := timing.SimulateSource(f, p)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	return res, err
+	return res, stream.CloseMerge(f, err)
 }
 
-// EvaluateTSEFile evaluates the paper's TSE configuration on a saved trace
-// through the streamed pipeline: three bounded-memory passes over the file
-// (the trace-driven coverage model, the baseline timing model, and the TSE
-// timing model), using the generation metadata embedded in the file. The
-// trace is never materialized, and the Report is bit-identical to
-// EvaluateTSE over LoadTrace's in-memory events.
-func EvaluateTSEFile(path string) (Report, error) {
+// EvaluateTSEFileMultipass is the multipass reference for EvaluateTSEFile:
+// three bounded-memory decode passes over the file (coverage, baseline
+// timing, TSE timing), each re-opening it. Reports are bit-identical to the
+// fused single-decode path.
+func EvaluateTSEFileMultipass(path string) (Report, error) {
 	f, err := stream.OpenFile(path)
 	if err != nil {
 		return Report{}, err
@@ -69,10 +174,7 @@ func EvaluateTSEFile(path string) (Report, error) {
 	}
 	cfg := tseConfig(gen, opts)
 	cov, _, err := analysis.EvaluateTSEStream(cfg, f)
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
+	if err = stream.CloseMerge(f, err); err != nil {
 		return Report{}, fmt.Errorf("tsm: replaying %s: %w", path, err)
 	}
 
@@ -89,13 +191,11 @@ func EvaluateTSEFile(path string) (Report, error) {
 	return tseReport(cov, base, withTSE), nil
 }
 
-// EvaluateAllFile runs the Figure 12 comparison — stride, both GHB variants
-// and TSE — on a saved trace through the streamed pipeline. Each model gets
-// its own bounded-memory pass over the file, and the independent passes run
-// in parallel over the worker pool. The reports are identical to EvaluateAll
-// (and therefore to the serial ComparePrefetchers) over the loaded trace, in
-// the same order.
-func EvaluateAllFile(path string) ([]Report, error) {
+// EvaluateAllFileMultipass is the multipass reference for EvaluateAllFile:
+// each model gets its own decode pass over the file, the independent passes
+// running in parallel over the worker pool. Reports are identical to the
+// fused single-decode path, in the same order.
+func EvaluateAllFileMultipass(path string) ([]Report, error) {
 	meta, err := ReplayMeta(path)
 	if err != nil {
 		return nil, err
@@ -111,24 +211,15 @@ func EvaluateAllFile(path string) ([]Report, error) {
 		if err != nil {
 			return Report{}, err
 		}
-		defer f.Close()
+		var cov analysis.CoverageResult
 		if i < len(specs) {
-			r, err := analysis.EvaluateModelStream(specs[i].New(), f)
-			if err != nil {
-				return Report{}, fmt.Errorf("tsm: replaying %s: %w", path, err)
-			}
-			return Report{
-				Model: r.Name, Consumptions: r.Consumptions,
-				Coverage: r.Coverage(), Discards: r.DiscardRate(),
-			}, nil
+			cov, err = analysis.EvaluateModelStream(specs[i].New(), f)
+		} else {
+			cov, _, err = analysis.EvaluateTSEStream(cfg, f)
 		}
-		cov, _, err := analysis.EvaluateTSEStream(cfg, f)
-		if err != nil {
+		if err = stream.CloseMerge(f, err); err != nil {
 			return Report{}, fmt.Errorf("tsm: replaying %s: %w", path, err)
 		}
-		return Report{
-			Model: cov.Name, Consumptions: cov.Consumptions,
-			Coverage: cov.Coverage(), Discards: cov.DiscardRate(),
-		}, nil
+		return coverageReport(cov), nil
 	})
 }

@@ -110,6 +110,10 @@ type Trace = trace.Trace
 // workload's timing profile.
 type Generator = workload.Generator
 
+// Event is one classified trace event (a consumption or a write), the unit
+// every EventSource yields and every EventSink accepts.
+type Event = trace.Event
+
 // EventSource is a pull-based event iterator (io.EOF ends the stream).
 type EventSource = stream.Source
 

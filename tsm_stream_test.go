@@ -79,10 +79,11 @@ func TestTraceFileRoundTripReport(t *testing.T) {
 }
 
 // TestFileReplayParityAllWorkloads is the PR's acceptance criterion: for
-// EVERY workload — the paper's seven and the extended matrix — evaluating a
-// saved .tsm through the streamed TSE + timing pipeline (EvaluateTSEFile,
-// three bounded-memory passes, no materialized trace) must be bit-identical
-// to loading the trace and running the in-memory pipeline.
+// EVERY workload — the paper's seven and the extended matrix — all three
+// file-replay pipelines must agree bit for bit: the fused single-decode
+// fan-out engine (EvaluateTSEFile), the multipass reference that re-decodes
+// the file per consumer (EvaluateTSEFileMultipass), and the in-memory
+// pipeline over the loaded trace.
 func TestFileReplayParityAllWorkloads(t *testing.T) {
 	opts := Options{Nodes: 4, Scale: 0.03, Seed: 11}
 	dir := t.TempDir()
@@ -112,20 +113,102 @@ func TestFileReplayParityAllWorkloads(t *testing.T) {
 				t.Fatal(err)
 			}
 
-			// Streamed pipeline.
-			got, err := EvaluateTSEFile(path)
+			// Fused streamed pipeline: one decode pass, three consumers.
+			fused, err := EvaluateTSEFile(path)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if got != want {
-				t.Fatalf("streamed report %+v != in-memory report %+v", got, want)
+			if fused != want {
+				t.Fatalf("fused report %+v != in-memory report %+v", fused, want)
+			}
+
+			// Multipass streamed pipeline: one decode pass per consumer.
+			multipass, err := EvaluateTSEFileMultipass(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if multipass != want {
+				t.Fatalf("multipass report %+v != in-memory report %+v", multipass, want)
 			}
 		})
 	}
 }
 
+// passCountingSource wraps a Source and counts Next calls, so a test can
+// assert how many times a pipeline decoded the stream: a single full pass
+// over an N-event trace is exactly N+1 calls (the events plus one io.EOF).
+type passCountingSource struct {
+	src   EventSource
+	nexts int
+}
+
+func (c *passCountingSource) Next() (Event, error) {
+	c.nexts++
+	return c.src.Next()
+}
+
+// TestSingleDecodePass is the tentpole's acceptance criterion: the fused
+// replay engine behind EvaluateTSEFile/EvaluateAllFile must decode the trace
+// exactly ONCE — N events + one EOF read from the source — even though the
+// TSE report needs three consumers and the Figure 12 comparison four, and
+// the reports must match the in-memory pipeline bit for bit.
+func TestSingleDecodePass(t *testing.T) {
+	opts := testOpts()
+	tr, gen, err := GenerateTrace("db2", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := TraceMeta{Workload: "db2", Nodes: opts.Nodes, Scale: opts.Scale, Seed: opts.Seed}
+	wantNexts := tr.Len() + 1
+
+	want, err := EvaluateTSE(tr, gen, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &passCountingSource{src: stream.TraceSource(tr)}
+	got, err := EvaluateTSESource(src, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("single-pass report %+v != in-memory report %+v", got, want)
+	}
+	if src.nexts != wantNexts {
+		t.Fatalf("EvaluateTSESource read the source %d times, want %d (one decode pass)", src.nexts, wantNexts)
+	}
+
+	wantAll, err := EvaluateAll(tr, gen, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src = &passCountingSource{src: stream.TraceSource(tr)}
+	gotAll, err := EvaluateAllSource(src, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotAll) != len(wantAll) {
+		t.Fatalf("got %d reports, want %d", len(gotAll), len(wantAll))
+	}
+	for i := range wantAll {
+		if gotAll[i] != wantAll[i] {
+			t.Errorf("report %d: single-pass %+v, want %+v", i, gotAll[i], wantAll[i])
+		}
+	}
+	if src.nexts != wantNexts {
+		t.Fatalf("EvaluateAllSource read the source %d times, want %d (one decode pass)", src.nexts, wantNexts)
+	}
+
+	if _, err := EvaluateTSESource(stream.TraceSource(tr), TraceMeta{Workload: "bogus"}); err == nil {
+		t.Fatal("bogus metadata should error")
+	}
+	if _, err := EvaluateAllSource(stream.TraceSource(tr), TraceMeta{Workload: "bogus"}); err == nil {
+		t.Fatal("bogus metadata should error")
+	}
+}
+
 // TestEvaluateAllFileMatchesEvaluateAll: the streamed Figure 12 comparison
-// over a trace file must reproduce the in-memory comparison exactly.
+// over a trace file — fused and multipass — must reproduce the in-memory
+// comparison exactly.
 func TestEvaluateAllFileMatchesEvaluateAll(t *testing.T) {
 	opts := testOpts()
 	tr, gen, err := GenerateTrace("memkv", opts)
@@ -152,7 +235,25 @@ func TestEvaluateAllFileMatchesEvaluateAll(t *testing.T) {
 			t.Errorf("report %d: streamed %+v, want %+v", i, got[i], want[i])
 		}
 	}
+	multipass, err := EvaluateAllFileMultipass(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(multipass) != len(want) {
+		t.Fatalf("multipass got %d reports, want %d", len(multipass), len(want))
+	}
+	for i := range want {
+		if multipass[i] != want[i] {
+			t.Errorf("report %d: multipass %+v, want %+v", i, multipass[i], want[i])
+		}
+	}
 	if _, err := EvaluateAllFile(t.TempDir() + "/missing.tsm"); err == nil {
+		t.Fatal("missing file should error")
+	}
+	if _, err := EvaluateAllFileMultipass(t.TempDir() + "/missing.tsm"); err == nil {
+		t.Fatal("missing file should error")
+	}
+	if _, err := EvaluateTSEFileMultipass(t.TempDir() + "/missing.tsm"); err == nil {
 		t.Fatal("missing file should error")
 	}
 }

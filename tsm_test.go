@@ -16,7 +16,7 @@ func TestWorkloadsAndExperiments(t *testing.T) {
 	if len(Workloads()) != 10 {
 		t.Fatalf("Workloads() = %v", Workloads())
 	}
-	if len(Experiments()) != 13 {
+	if len(Experiments()) != 14 {
 		t.Fatalf("Experiments() = %v", Experiments())
 	}
 }
