@@ -16,12 +16,14 @@ package tsm
 import (
 	"bytes"
 	"flag"
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
 
 	"tsm/internal/analysis"
 	"tsm/internal/experiments"
+	"tsm/internal/mem"
 	"tsm/internal/stream"
 	"tsm/internal/timing"
 	"tsm/internal/tse"
@@ -505,6 +507,60 @@ func BenchmarkTimingModel(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- Streamed-generation allocation benchmarks ----------------------------
+//
+// The constant-memory proof for the streamed emission path: Repeat lengthens
+// the trace WITHOUT growing generator state, so on the streamed path B/op
+// must stay flat as the trace gets longer (the only allocations are the
+// generator's fixed problem state), while the materializing reference path
+// grows linearly with the access count. CI publishes both in the BENCH JSON
+// artifact and gates on their presence.
+
+// benchGenConfig fixes the problem footprint; repeat scales only the length.
+func benchGenConfig(repeat float64) workload.Config {
+	return workload.Config{Nodes: 16, Seed: 1, Scale: 0.05, Repeat: repeat}
+}
+
+// BenchmarkGenerateStream drives a generator's Emit end to end, counting
+// accesses but never buffering them. B/op is O(1) in the trace length.
+func BenchmarkGenerateStream(b *testing.B) {
+	spec, _ := workload.ByName("db2")
+	for _, repeat := range []float64{1, 2, 4} {
+		b.Run(fmt.Sprintf("repeat=%g", repeat), func(b *testing.B) {
+			b.ReportAllocs()
+			var accesses int
+			for i := 0; i < b.N; i++ {
+				accesses = 0
+				gen := spec.New(benchGenConfig(repeat))
+				if err := gen.Emit(func(a mem.Access) error {
+					accesses++
+					return nil
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(accesses), "accesses")
+		})
+	}
+}
+
+// BenchmarkGenerateMaterialize is the reference path: collect the whole
+// access slice. B/op grows with the trace length.
+func BenchmarkGenerateMaterialize(b *testing.B) {
+	spec, _ := workload.ByName("db2")
+	for _, repeat := range []float64{1, 2, 4} {
+		b.Run(fmt.Sprintf("repeat=%g", repeat), func(b *testing.B) {
+			b.ReportAllocs()
+			var accesses int
+			for i := 0; i < b.N; i++ {
+				gen := spec.New(benchGenConfig(repeat))
+				accesses = len(gen.Generate())
+			}
+			b.ReportMetric(float64(accesses), "accesses")
+		})
+	}
 }
 
 // BenchmarkWorkloadGeneration measures raw workload generation plus

@@ -1,15 +1,26 @@
 // Command tracegen generates the consumption/write event trace of one
 // synthetic workload. With -o it streams the events straight into a
 // versioned binary trace file (.tsm, see internal/stream) as the functional
-// coherence engine classifies them — the trace is never held in memory —
-// embedding the generation metadata so cmd/tsesim (or any other process)
-// can evaluate the exact same trace with `tsesim -i`.
+// coherence engine classifies them, embedding the generation metadata so
+// cmd/tsesim (or any other process) can evaluate the exact same trace with
+// `tsesim -i`.
+//
+// The whole pipeline — workload generation, coherence classification, trace
+// encoding — streams one access at a time: the generator's Emit feeds the
+// engine, the engine's events feed the file, and no slice of accesses or
+// events ever exists. Memory is bounded by the workload's fixed problem
+// state, not the trace length, which is what makes paper-scale traces
+// (-preset paper, or explicit -scale/-repeat) practical.
 //
 // Usage:
 //
 //	tracegen -workload db2 -scale 0.5 -o db2.tsm
-//	tracegen -workload pagerank -o pagerank.tsm   # extended scenario matrix
+//	tracegen -workload db2 -preset paper -o db2-full.tsm   # Table 2 footprint
+//	tracegen -workload mix -o mix.tsm                      # memkv+cdn colocated
 //	tracegen -workload em3d -summary
+//
+// -materialize restores the reference path that builds the access slice
+// first (byte-identical output; it exists for differential testing and CI).
 package main
 
 import (
@@ -27,12 +38,15 @@ import (
 
 func main() {
 	var (
-		name    = flag.String("workload", "db2", "workload name (see tsesim -list)")
-		nodes   = flag.Int("nodes", 16, "number of DSM nodes")
-		scale   = flag.Float64("scale", 1.0, "workload scale factor")
-		seed    = flag.Int64("seed", 1, "generation seed")
-		out     = flag.String("o", "", "output trace file (.tsm; omit to skip writing)")
-		summary = flag.Bool("summary", true, "print a trace summary")
+		name        = flag.String("workload", "db2", "workload name (see tsesim -list)")
+		nodes       = flag.Int("nodes", 16, "number of DSM nodes")
+		scale       = flag.Float64("scale", 1.0, "workload scale factor (data-structure footprint)")
+		repeat      = flag.Float64("repeat", 1.0, "run-length multiplier (iterations/transactions; lengthens the trace at constant memory)")
+		preset      = flag.String("preset", "", "problem-size preset: \"paper\" selects the workload's Table 2 footprint (explicit -scale/-repeat override it)")
+		seed        = flag.Int64("seed", 1, "generation seed")
+		out         = flag.String("o", "", "output trace file (.tsm; omit to skip writing)")
+		summary     = flag.Bool("summary", true, "print a trace summary")
+		materialize = flag.Bool("materialize", false, "materialize the access stream before classifying (reference path, identical bytes)")
 	)
 	flag.Parse()
 
@@ -41,9 +55,51 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tracegen: unknown workload %q\n", *name)
 		os.Exit(2)
 	}
-	gen := spec.New(workload.Config{Nodes: *nodes, Seed: *seed, Scale: *scale})
+
+	cfg := workload.Config{Nodes: *nodes, Seed: *seed, Scale: *scale, Repeat: *repeat}
+	switch *preset {
+	case "":
+	case "paper":
+		p, ok := workload.PaperPreset(spec.Name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tracegen: no paper preset for workload %q\n", spec.Name)
+			os.Exit(2)
+		}
+		// Explicitly set flags win over the preset.
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["scale"] {
+			cfg.Scale = p.Scale
+		}
+		if !set["repeat"] {
+			cfg.Repeat = p.Repeat
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown preset %q (known: paper)\n", *preset)
+		os.Exit(2)
+	}
+
+	gen := spec.New(cfg)
 	eng := coherence.New(coherence.Config{Nodes: *nodes, Geometry: mem.DefaultGeometry(), PointersPerEntry: 2})
-	accesses := gen.Generate()
+
+	// The access source streams straight from the generator (counting the
+	// accesses on the way past for the summary); -materialize swaps in the
+	// reference path that collects the slice first. Both classify and encode
+	// the exact same sequence.
+	var accesses uint64
+	var src coherence.AccessSource
+	if *materialize {
+		collected := gen.Generate()
+		accesses = uint64(len(collected))
+		src = coherence.SliceAccesses(collected)
+	} else {
+		src = func(yield func(mem.Access) error) error {
+			return gen.Emit(func(a mem.Access) error {
+				accesses++
+				return yield(a)
+			})
+		}
+	}
 
 	// The summary's per-node distribution is accumulated on the fly, so the
 	// trace streams from the engine to the file without materializing.
@@ -57,17 +113,20 @@ func main() {
 	}
 
 	if *out != "" {
-		meta := stream.Meta{Workload: spec.Name, Nodes: *nodes, Scale: *scale, Seed: *seed}
-		if err := writeStreamed(*out, meta, eng, accesses, observe); err != nil {
+		meta := stream.Meta{Workload: spec.Name, Nodes: *nodes, Scale: cfg.Scale, Seed: *seed, Repeat: cfg.Repeat}
+		if err := writeStreamed(*out, meta, eng, src, observe); err != nil {
 			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
 			os.Exit(1)
 		}
 	} else {
-		eng.RunStream(accesses, func(e trace.Event) error { observe(e); return nil })
+		if err := eng.RunSource(src, func(e trace.Event) error { observe(e); return nil }); err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	if *summary {
-		printSummary(spec, gen, len(accesses), events, perNode, eng)
+		printSummary(spec, gen, cfg, accesses, events, perNode, eng)
 	}
 	if *out != "" {
 		fmt.Printf("wrote %d events to %s\n", events, *out)
@@ -76,7 +135,7 @@ func main() {
 
 // writeStreamed pipes the engine's event stream into a trace file, feeding
 // each event to observe on the way past.
-func writeStreamed(path string, meta stream.Meta, eng *coherence.Engine, accesses []mem.Access, observe func(trace.Event)) (err error) {
+func writeStreamed(path string, meta stream.Meta, eng *coherence.Engine, src coherence.AccessSource, observe func(trace.Event)) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -86,7 +145,7 @@ func writeStreamed(path string, meta stream.Meta, eng *coherence.Engine, accesse
 	if err != nil {
 		return err
 	}
-	if err := eng.RunStream(accesses, func(e trace.Event) error {
+	if err := eng.RunSource(src, func(e trace.Event) error {
 		observe(e)
 		return w.Write(e)
 	}); err != nil {
@@ -95,10 +154,11 @@ func writeStreamed(path string, meta stream.Meta, eng *coherence.Engine, accesse
 	return w.Close()
 }
 
-func printSummary(spec workload.Spec, gen workload.Generator, accesses int, events uint64, perNode []int, eng *coherence.Engine) {
+func printSummary(spec workload.Spec, gen workload.Generator, cfg workload.Config, accesses, events uint64, perNode []int, eng *coherence.Engine) {
 	stats := eng.Stats()
 	fmt.Printf("workload:      %s (%s)\n", spec.Name, spec.Class)
 	fmt.Printf("parameters:    %s\n", spec.Parameters)
+	fmt.Printf("problem size:  scale=%g repeat=%g\n", cfg.Scale, cfg.Repeat)
 	fmt.Printf("accesses:      %d\n", accesses)
 	fmt.Printf("trace events:  %d\n", events)
 	fmt.Printf("consumptions:  %d\n", stats.Consumptions)

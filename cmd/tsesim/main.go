@@ -6,6 +6,7 @@
 //	tsesim -experiment fig12                 # one experiment, all workloads
 //	tsesim -experiment all -scale 0.25       # every table and figure, faster
 //	tsesim -experiment suite -workloads memkv,pagerank,cdn
+//	tsesim -experiment mix                   # cross-workload mix vs its parts
 //	tsesim -experiment fig14 -workloads db2,oracle
 //	tsesim -i db2.tsm                        # evaluate TSE on a trace file
 //	tsesim -i db2.tsm -compare               # ...all Figure 12 models
@@ -90,7 +91,7 @@ func main() {
 			}
 			if _, ok := workload.ByName(name); !ok {
 				fmt.Fprintf(os.Stderr, "tsesim: unknown workload %q (known: %s)\n",
-					name, strings.Join(workload.Names(), ", "))
+					name, strings.Join(workload.AllNames(), ", "))
 				os.Exit(2)
 			}
 			opts.Workloads = append(opts.Workloads, name)

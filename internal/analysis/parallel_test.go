@@ -21,7 +21,10 @@ func suiteTrace(t *testing.T, name string, nodes int) (*trace.Trace, tse.Config)
 	}
 	gen := spec.New(workload.Config{Nodes: nodes, Seed: 5, Scale: 0.05})
 	eng := coherence.New(coherence.Config{Nodes: nodes, Geometry: mem.DefaultGeometry(), PointersPerEntry: 2})
-	tr := eng.Run(gen.Generate())
+	tr, err := eng.RunFrom(gen.Emit)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cfg := tse.DefaultConfig()
 	cfg.Nodes = nodes
 	cfg.Lookahead = gen.Timing().Lookahead

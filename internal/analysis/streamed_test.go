@@ -17,7 +17,10 @@ import (
 func TestEvaluateTSEStreamMatchesEvaluateTSE(t *testing.T) {
 	gen := workload.NewOLTP(workload.Config{Nodes: 4, Seed: 3, Scale: 0.05}, "DB2")
 	eng := coherence.New(coherence.Config{Nodes: 4, Geometry: mem.DefaultGeometry(), PointersPerEntry: 2})
-	tr := eng.Run(gen.Generate())
+	tr, err := eng.RunFrom(gen.Emit)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	cfg := tse.DefaultConfig()
 	cfg.Nodes = 4

@@ -333,24 +333,35 @@ func (e *Engine) write(a mem.Access, b mem.BlockAddr, c nodeCache, emit func(tra
 	return Result{Class: WriteMiss, Block: b, Invalidated: wr.Invalidated}
 }
 
-// Run processes a whole access stream, returning the generated trace.
-func (e *Engine) Run(accesses []mem.Access) *trace.Trace {
-	tr := &trace.Trace{}
-	e.RunStream(accesses, func(ev trace.Event) error {
-		tr.Events = append(tr.Events, ev)
+// AccessSource pushes a globally ordered access stream to a yield callback,
+// one access at a time. A non-nil error from yield must abort the push
+// promptly and be returned unchanged. workload.Generator.Emit satisfies this
+// shape directly, so a generator streams into the engine with no intermediate
+// slice: eng.RunSource(gen.Emit, sink).
+type AccessSource func(yield func(mem.Access) error) error
+
+// SliceAccesses adapts a materialized access slice to an AccessSource.
+func SliceAccesses(accesses []mem.Access) AccessSource {
+	return func(yield func(mem.Access) error) error {
+		for _, a := range accesses {
+			if err := yield(a); err != nil {
+				return err
+			}
+		}
 		return nil
-	})
-	return tr
+	}
 }
 
-// RunStream processes an access stream, emitting classified events (with
-// dense sequence numbers assigned in emission order) to emit instead of
-// materializing a trace. Run is RunStream into an in-memory slice; a caller
-// that only needs to persist or forward the stream never holds more than
-// one event. A non-nil error from emit aborts the run immediately — a dead
-// sink (full disk, closed pipe) must not cost the rest of the generation —
-// and is returned.
-func (e *Engine) RunStream(accesses []mem.Access, emit func(trace.Event) error) error {
+// RunSource processes an access source, emitting classified events (with
+// dense sequence numbers assigned in emission order) to emit as they are
+// produced. This is the engine's primary entry point: generation, coherence
+// classification and the caller's sink compose one access at a time, so the
+// whole generate→classify→encode pipeline runs in memory bounded by the
+// source's own state, never the trace length. A non-nil error from emit
+// aborts the run immediately — a dead sink (full disk, closed pipe) must not
+// cost the rest of the generation — and is returned; an error from the
+// source itself is returned as-is.
+func (e *Engine) RunSource(src AccessSource, emit func(trace.Event) error) error {
 	var seq uint64
 	var emitErr error
 	numbered := func(ev trace.Event) {
@@ -361,11 +372,34 @@ func (e *Engine) RunStream(accesses []mem.Access, emit func(trace.Event) error) 
 		seq++
 		emitErr = emit(ev)
 	}
-	for _, a := range accesses {
+	err := src(func(a mem.Access) error {
 		e.AccessEmit(a, numbered)
-		if emitErr != nil {
-			return emitErr
-		}
+		return emitErr
+	})
+	if emitErr != nil {
+		return emitErr
 	}
-	return nil
+	return err
+}
+
+// RunStream is RunSource over a materialized access slice.
+func (e *Engine) RunStream(accesses []mem.Access, emit func(trace.Event) error) error {
+	return e.RunSource(SliceAccesses(accesses), emit)
+}
+
+// RunFrom processes an access source and materializes the classified trace.
+func (e *Engine) RunFrom(src AccessSource) (*trace.Trace, error) {
+	tr := &trace.Trace{}
+	err := e.RunSource(src, func(ev trace.Event) error {
+		tr.Events = append(tr.Events, ev)
+		return nil
+	})
+	return tr, err
+}
+
+// Run processes a whole access stream, returning the generated trace.
+func (e *Engine) Run(accesses []mem.Access) *trace.Trace {
+	// The sink never fails, so neither does the run.
+	tr, _ := e.RunFrom(SliceAccesses(accesses))
+	return tr
 }

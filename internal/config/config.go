@@ -127,10 +127,15 @@ func (c SystemConfig) Table1() [][2]string {
 	}
 }
 
-// Table2 returns the Table 2 rows (application, parameters).
+// Table2 returns the Table 2 rows (application, parameters): the default
+// workload suite, excluding the Extra cross-workload mixes (which have no
+// Table 2 analogue — they colocate suite entries).
 func Table2() [][2]string {
 	var out [][2]string
 	for _, s := range workload.Registry() {
+		if s.Extra {
+			continue
+		}
 		out = append(out, [2]string{s.Name, s.Parameters})
 	}
 	return out

@@ -151,7 +151,10 @@ func (w *Workspace) Options() Options { return w.opts }
 // System returns the Table 1 system configuration in use.
 func (w *Workspace) System() config.SystemConfig { return w.system }
 
-// WorkloadNames returns the selected workload names in registry order.
+// WorkloadNames returns the selected workload names in registry order. With
+// no explicit selection it is the default suite (the cross-workload mixes are
+// excluded, keeping the suite-wide goldens independent of registered mixes);
+// an explicit selection may name any registered workload, mixes included.
 func (w *Workspace) WorkloadNames() []string {
 	if len(w.opts.Workloads) == 0 {
 		return workload.Names()
@@ -162,7 +165,7 @@ func (w *Workspace) WorkloadNames() []string {
 		selected[strings.ToLower(n)] = true
 	}
 	var out []string
-	for _, n := range workload.Names() {
+	for _, n := range workload.AllNames() {
 		if selected[n] {
 			out = append(out, n)
 		}
@@ -189,7 +192,7 @@ func (w *Workspace) Data(name string) (*WorkloadData, error) {
 func (w *Workspace) generate(name string) (*WorkloadData, error) {
 	spec, ok := workload.ByName(name)
 	if !ok {
-		known := strings.Join(workload.Names(), ", ")
+		known := strings.Join(workload.AllNames(), ", ")
 		return nil, fmt.Errorf("experiments: unknown workload %q (known: %s)", name, known)
 	}
 	gen := spec.New(workload.Config{
@@ -198,16 +201,21 @@ func (w *Workspace) generate(name string) (*WorkloadData, error) {
 		Scale:    w.opts.Scale,
 		Geometry: w.system.Geometry,
 	})
-	// Classify the raw accesses with the functional coherence engine using
+	// Classify the accesses with the functional coherence engine using
 	// effectively infinite private caches: the paper's framing is that
 	// coherence misses are what remain as caches grow, and it keeps the
-	// opportunity studies free of capacity-miss noise.
+	// opportunity studies free of capacity-miss noise. Generation streams
+	// straight into the engine — only the classified trace the experiments
+	// share is materialized, never the raw access stream.
 	eng := coherence.New(coherence.Config{
 		Nodes:            w.opts.Nodes,
 		Geometry:         w.system.Geometry,
 		PointersPerEntry: 2,
 	})
-	tr := eng.Run(gen.Generate())
+	tr, err := eng.RunFrom(gen.Emit)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: generating %s: %w", name, err)
+	}
 	return &WorkloadData{
 		Spec:         spec,
 		Generator:    gen,
@@ -268,6 +276,7 @@ func All() []Experiment {
 		{ID: "fig14", Title: "Performance improvement from TSE (Figure 14)", Run: Fig14},
 		{ID: "suite", Title: "Suite-wide TSE comparison (full workload matrix)", Run: Suite},
 		{ID: "sensitivity", Title: "TSE coverage sensitivity to node count (4/16/32/64)", Run: Sensitivity},
+		{ID: "mix", Title: "Cross-workload mix vs its colocated parts (memkv + cdn)", Run: MixExperiment},
 	}
 }
 

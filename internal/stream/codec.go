@@ -3,7 +3,9 @@
 //	magic   "TSMS" (4 bytes)
 //	version 1 byte (currently Version)
 //	meta    workload name (uvarint length + bytes), nodes (uvarint),
-//	        scale (8 bytes, IEEE 754 little endian), seed (zigzag varint)
+//	        scale (8 bytes, IEEE 754 little endian), seed (zigzag varint),
+//	        repeat (8 bytes, IEEE 754 little endian; version ≥ 2 only —
+//	          version 1 streams decode with Repeat 0, i.e. the default)
 //	chunks  repeated: event count n (uvarint, n > 0), then n events:
 //	          kind (1 byte)
 //	          node (uvarint)
@@ -37,8 +39,13 @@ import (
 // fixed-width "TSM1" format in internal/trace).
 var Magic = [4]byte{'T', 'S', 'M', 'S'}
 
-// Version is the current codec version. Readers reject other versions.
-const Version = 1
+// Version is the current codec version. Writers always emit it; readers
+// also accept version 1 (which lacks the repeat metadata field) so traces
+// written before the run-length knob existed stay replayable.
+const Version = 2
+
+// versionNoRepeat is the last codec version without the repeat meta field.
+const versionNoRepeat = 1
 
 // DefaultChunkEvents is the number of events buffered per chunk.
 const DefaultChunkEvents = 4096
@@ -83,6 +90,10 @@ type Meta struct {
 	Scale float64
 	// Seed is the generation seed.
 	Seed int64
+	// Repeat is the run-length multiplier the trace was generated with
+	// (workload.Config.Repeat). Zero means the default of 1 — the value
+	// version 1 streams decode with.
+	Repeat float64
 }
 
 // String summarises the metadata in one line.
@@ -91,7 +102,11 @@ func (m Meta) String() string {
 	if name == "" {
 		name = "(custom)"
 	}
-	return fmt.Sprintf("%s nodes=%d scale=%g seed=%d", name, m.Nodes, m.Scale, m.Seed)
+	s := fmt.Sprintf("%s nodes=%d scale=%g seed=%d", name, m.Nodes, m.Scale, m.Seed)
+	if m.Repeat > 0 && m.Repeat != 1 {
+		s += fmt.Sprintf(" repeat=%g", m.Repeat)
+	}
+	return s
 }
 
 // Writer encodes events into the chunked binary format. It implements Sink;
@@ -119,6 +134,7 @@ func NewWriter(w io.Writer, meta Meta) (*Writer, error) {
 	hdr = binary.AppendUvarint(hdr, uint64(meta.Nodes))
 	hdr = binary.LittleEndian.AppendUint64(hdr, math.Float64bits(meta.Scale))
 	hdr = binary.AppendVarint(hdr, meta.Seed)
+	hdr = binary.LittleEndian.AppendUint64(hdr, math.Float64bits(meta.Repeat))
 	if _, err := bw.Write(hdr); err != nil {
 		return nil, fmt.Errorf("stream: writing header: %w", err)
 	}
@@ -218,9 +234,10 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if *(*[4]byte)(hdr[:4]) != Magic {
 		return nil, ErrBadMagic
 	}
-	if hdr[4] != Version {
-		return nil, fmt.Errorf("%w: got %d, want %d", ErrVersion, hdr[4], Version)
+	if hdr[4] != Version && hdr[4] != versionNoRepeat {
+		return nil, fmt.Errorf("%w: got %d, want %d (or %d)", ErrVersion, hdr[4], Version, versionNoRepeat)
 	}
+	version := hdr[4]
 	rd := &Reader{r: br}
 	n, err := binary.ReadUvarint(br)
 	if err != nil {
@@ -255,6 +272,16 @@ func NewReader(r io.Reader) (*Reader, error) {
 		return nil, fmt.Errorf("stream: reading metadata: %w", errTrunc(err))
 	}
 	rd.meta.Seed = seed
+	if version >= 2 {
+		var repeat [8]byte
+		if _, err := io.ReadFull(br, repeat[:]); err != nil {
+			return nil, fmt.Errorf("stream: reading metadata: %w", errTrunc(err))
+		}
+		rd.meta.Repeat = math.Float64frombits(binary.LittleEndian.Uint64(repeat[:]))
+		if math.IsNaN(rd.meta.Repeat) || math.IsInf(rd.meta.Repeat, 0) || rd.meta.Repeat < 0 || rd.meta.Repeat > maxMetaScale {
+			return nil, fmt.Errorf("%w: repeat %v", ErrCorrupt, rd.meta.Repeat)
+		}
+	}
 	return rd, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"tsm/internal/mem"
@@ -203,10 +204,71 @@ func TestCodecCorruptMeta(t *testing.T) {
 		{Workload: "db2", Nodes: 16, Scale: math.Inf(1), Seed: 1},
 		{Workload: "db2", Nodes: 16, Scale: -1, Seed: 1},
 		{Workload: "db2", Nodes: 16, Scale: maxMetaScale * 2, Seed: 1},
+		{Workload: "db2", Nodes: 16, Scale: 1, Seed: 1, Repeat: math.NaN()},
+		{Workload: "db2", Nodes: 16, Scale: 1, Seed: 1, Repeat: math.Inf(1)},
+		{Workload: "db2", Nodes: 16, Scale: 1, Seed: 1, Repeat: -1},
+		{Workload: "db2", Nodes: 16, Scale: 1, Seed: 1, Repeat: maxMetaScale * 2},
 	} {
 		data := encode(t, randomTrace(3, 1), meta)
 		if _, err := NewReader(bytes.NewReader(data)); !errors.Is(err, ErrCorrupt) {
 			t.Errorf("meta %+v: err = %v, want ErrCorrupt", meta, err)
+		}
+	}
+}
+
+// TestCodecRepeatMetaRoundTrip: the run-length multiplier a trace was
+// generated with must survive the file format, so generator reconstruction
+// (tsm.GeneratorFor) rebuilds a generator whose run actually matches the
+// file's contents for -repeat/-preset traces.
+func TestCodecRepeatMetaRoundTrip(t *testing.T) {
+	meta := Meta{Workload: "db2", Nodes: 16, Scale: 4, Seed: 1, Repeat: 4}
+	r, err := NewReader(bytes.NewReader(encode(t, randomTrace(10, 1), meta)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Meta() != meta {
+		t.Fatalf("meta = %+v, want %+v", r.Meta(), meta)
+	}
+	if s := meta.String(); !strings.Contains(s, "repeat=4") {
+		t.Fatalf("meta string %q should name the repeat", s)
+	}
+	// Repeat 1 and 0 (the default) are not worth a mention.
+	if s := (Meta{Workload: "db2", Nodes: 16, Scale: 1, Seed: 1}).String(); strings.Contains(s, "repeat") {
+		t.Fatalf("meta string %q should omit the default repeat", s)
+	}
+}
+
+// TestCodecReadsVersion1: streams written before the repeat field existed
+// (version 1, no trailing 8-byte repeat in the header) must still decode,
+// with Repeat reported as the zero default.
+func TestCodecReadsVersion1(t *testing.T) {
+	tr := randomTrace(2*DefaultChunkEvents+5, 3)
+	meta := Meta{Workload: "db2", Nodes: 16, Scale: 0.25, Seed: 42}
+	data := encode(t, tr, meta)
+	// Rewrite the v2 header as v1 by dropping the 8-byte repeat field:
+	// magic(4) + version(1) + name len(1) + "db2"(3) + nodes(1) +
+	// scale(8) + seed(1) puts it at offset 19 for this metadata.
+	const repeatOff = 4 + 1 + 1 + 3 + 1 + 8 + 1
+	v1 := append([]byte{}, data[:repeatOff]...)
+	v1 = append(v1, data[repeatOff+8:]...)
+	v1[4] = versionNoRepeat
+	r, err := NewReader(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Meta() != meta {
+		t.Fatalf("meta = %+v, want %+v (Repeat must default to 0)", r.Meta(), meta)
+	}
+	got, err := Collect(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() {
+		t.Fatalf("decoded %d events, want %d", got.Len(), tr.Len())
+	}
+	for i := range tr.Events {
+		if got.Events[i] != tr.Events[i] {
+			t.Fatalf("event %d differs", i)
 		}
 	}
 }

@@ -19,7 +19,11 @@ func workloadTrace(t testing.TB, name string, nodes int) *trace.Trace {
 	}
 	gen := spec.New(workload.Config{Nodes: nodes, Seed: 3, Scale: 0.05})
 	eng := coherence.New(coherence.Config{Nodes: nodes, Geometry: mem.DefaultGeometry(), PointersPerEntry: 2})
-	return eng.Run(gen.Generate())
+	tr, err := eng.RunFrom(gen.Emit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
 }
 
 // serialCounts evaluates a model over the full stream on one goroutine —

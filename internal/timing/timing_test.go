@@ -197,7 +197,10 @@ func TestEndToEndWithWorkloadTrace(t *testing.T) {
 	spec, _ := workload.ByName("db2")
 	gen := spec.New(wcfg)
 	eng := coherence.New(coherence.Config{Nodes: 4, Geometry: wcfg.Geometry, PointersPerEntry: 2})
-	tr := eng.Run(gen.Generate())
+	tr, err := eng.RunFrom(gen.Emit)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if tr.ConsumptionCount() < 500 {
 		t.Skip("workload too small for timing test")
 	}
@@ -249,7 +252,10 @@ func TestBreakdownHelpers(t *testing.T) {
 func TestSimulateSourceMatchesSimulate(t *testing.T) {
 	gen := workload.NewEM3D(workload.Config{Nodes: 4, Seed: 11, Scale: 0.05})
 	eng := coherence.New(coherence.Config{Nodes: 4, Geometry: mem.DefaultGeometry(), PointersPerEntry: 2})
-	tr := eng.Run(gen.Generate())
+	tr, err := eng.RunFrom(gen.Emit)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, p := range []Params{baseParams(4, gen.Timing()), tseParams(4, gen.Timing())} {
 		want, err := Simulate(tr, p)
 		if err != nil {

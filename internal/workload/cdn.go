@@ -37,7 +37,7 @@ func NewCDN(cfg Config) *CDN {
 	c := &CDN{
 		cfg:      cfg,
 		objects:  scaled(600, cfg.Scale, 64),
-		requests: scaled(6000, cfg.Scale, 500),
+		requests: repeated(scaled(6000, cfg.Scale, 500), cfg.Repeat),
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed + 401))
 	c.base = make([]int, c.objects)
@@ -71,11 +71,11 @@ func (c *CDN) Timing() TimingProfile {
 	}
 }
 
-// Generate implements Generator. Requests execute on round-robin edge
+// Emit implements Generator. Requests execute on round-robin edge
 // nodes; each reads one Zipf-popular object's payload run in order.
 // Periodically the object's origin node refreshes the payload, invalidating
 // every edge copy.
-func (c *CDN) Generate() []mem.Access {
+func (c *CDN) Emit(yield func(mem.Access) error) error {
 	rng := rand.New(rand.NewSource(c.cfg.Seed + 409))
 	zipf := rand.NewZipf(rng, 1.05, 1, uint64(c.objects-1))
 
@@ -86,9 +86,9 @@ func (c *CDN) Generate() []mem.Access {
 		conn[i] = rng.Intn(1 << 20)
 	}
 
-	var out []mem.Access
+	em := &emitter{yield: yield}
 	add := func(node, region, index int, typ mem.AccessType) {
-		out = append(out, mem.Access{
+		em.emit(mem.Access{
 			Node:   mem.NodeID(node),
 			Addr:   blockAddr(c.cfg.Geometry, region, index),
 			Type:   typ,
@@ -99,21 +99,36 @@ func (c *CDN) Generate() []mem.Access {
 	origin := func(obj int) int { return obj % c.cfg.Nodes }
 
 	// Initial publication: origins write every object once so the first
-	// requests stream from the producers.
-	pub := make([][]mem.Access, c.cfg.Nodes)
+	// requests stream from the producers. Each node's publication sequence —
+	// its objects in id order, blocks in payload order — is walked by a
+	// cursor instead of being materialized.
+	pubCount := make([]int, c.cfg.Nodes)
 	for obj := 0; obj < c.objects; obj++ {
-		p := origin(obj)
-		for b := c.base[obj]; b < c.base[obj]+c.size[obj]; b++ {
-			pub[p] = append(pub[p], mem.Access{
-				Node: mem.NodeID(p), Addr: blockAddr(c.cfg.Geometry, regionCDNObjects, b),
-				Type: mem.Write, Shared: true,
-			})
-		}
+		pubCount[origin(obj)] += c.size[obj]
 	}
-	out = append(out, interleave(pub, 32, rng)...)
+	pub := make([]cursor, c.cfg.Nodes)
+	for p := 0; p < c.cfg.Nodes; p++ {
+		p := p
+		obj, b := 0, 0
+		pub[p] = cursor{n: pubCount[p], next: func() mem.Access {
+			for origin(obj) != p || b >= c.size[obj] {
+				obj++
+				b = 0
+			}
+			a := mem.Access{
+				Node: mem.NodeID(p), Addr: blockAddr(c.cfg.Geometry, regionCDNObjects, c.base[obj]+b),
+				Type: mem.Write, Shared: true,
+			}
+			b++
+			return a
+		}}
+	}
+	if err := interleaveEmit(pub, 32, rng, yield); err != nil {
+		return err
+	}
 
 	node := 0
-	for req := 0; req < c.requests; req++ {
+	for req := 0; req < c.requests && !em.failed(); req++ {
 		node = (node + 1) % c.cfg.Nodes
 		obj := int(zipf.Uint64())
 
@@ -138,5 +153,8 @@ func (c *CDN) Generate() []mem.Access {
 		}
 		add(node, regionCDNConn, conn[rng.Intn(len(conn))], mem.Write)
 	}
-	return out
+	return em.err
 }
+
+// Generate implements Generator.
+func (c *CDN) Generate() []mem.Access { return Collect(c) }

@@ -85,7 +85,7 @@ func NewOLTP(cfg Config, name string) Generator {
 		groupsPerTxn:    3,
 		evolveEvery:     40,
 		evolveFraction:  0.15,
-		transactions:    scaled(2500, cfg.Scale, 200),
+		transactions:    repeated(scaled(2500, cfg.Scale, 200), cfg.Repeat),
 		lockSpinPerTxn:  1,
 		writeBackGroups: true,
 	}
@@ -129,7 +129,7 @@ func NewWebServer(cfg Config, name string) Generator {
 		groupsPerTxn:    2,
 		evolveEvery:     30,
 		evolveFraction:  0.20,
-		transactions:    scaled(3000, cfg.Scale, 200),
+		transactions:    repeated(scaled(3000, cfg.Scale, 200), cfg.Repeat),
 		lockSpinPerTxn:  1,
 		writeBackGroups: true,
 	}
@@ -147,7 +147,7 @@ func NewWebServer(cfg Config, name string) Generator {
 		c.timing.OtherStallFraction = 0.38
 		c.timing.CoherentStallFraction = 0.32
 	} else {
-		c.shape.transactions = scaled(2800, cfg.Scale, 200)
+		c.shape.transactions = repeated(scaled(2800, cfg.Scale, 200), cfg.Repeat)
 		c.shape.noiseFraction = 1.0
 		c.cfg.Seed += 7
 	}
@@ -189,13 +189,15 @@ func (c *commercial) buildGroups(rng *rand.Rand) []recordGroup {
 	return groups
 }
 
-// Generate implements Generator. Transactions execute one after another on
+// Emit implements Generator. Transactions execute one after another on
 // round-robin nodes (with occasional repeats, modelling affinity); each
 // transaction touches hot migratory metadata, traverses a few record groups
 // in their canonical order (reading and then updating each block, which is
 // what makes the data migratory), sprinkles uncorrelated buffer-pool reads
-// between them, and occasionally spins on a contended lock.
-func (c *commercial) Generate() []mem.Access {
+// between them, and occasionally spins on a contended lock. The only state
+// held across the run is the record groups and hot pools — the emitted
+// stream itself is never buffered.
+func (c *commercial) Emit(yield func(mem.Access) error) error {
 	rng := rand.New(rand.NewSource(c.cfg.Seed + 101))
 	groups := c.buildGroups(rng)
 	freshBlock := recordSpaceBlocks // source of new block indices for evolved groups
@@ -225,9 +227,9 @@ func (c *commercial) Generate() []mem.Access {
 		hotHeap[i] = rng.Intn(c.shape.heapBlocks)
 	}
 
-	var out []mem.Access
+	em := &emitter{yield: yield}
 	appendAccess := func(node int, region, index int, typ mem.AccessType, spin bool) {
-		out = append(out, mem.Access{
+		em.emit(mem.Access{
 			Node:   mem.NodeID(node),
 			Addr:   blockAddr(c.cfg.Geometry, region, index),
 			Type:   typ,
@@ -237,7 +239,7 @@ func (c *commercial) Generate() []mem.Access {
 	}
 
 	node := 0
-	for txn := 0; txn < c.shape.transactions; txn++ {
+	for txn := 0; txn < c.shape.transactions && !em.failed(); txn++ {
 		// Transaction placement: mostly round-robin across nodes, with some
 		// affinity (same node runs consecutive transactions occasionally).
 		if rng.Float64() < 0.8 {
@@ -313,5 +315,8 @@ func (c *commercial) Generate() []mem.Access {
 			appendAccess(node, c.regions.heap, hotHeap[rng.Intn(len(hotHeap))], mem.Write, false)
 		}
 	}
-	return out
+	return em.err
 }
+
+// Generate implements Generator.
+func (c *commercial) Generate() []mem.Access { return Collect(c) }

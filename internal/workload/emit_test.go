@@ -1,0 +1,273 @@
+package workload
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"tsm/internal/mem"
+)
+
+// TestEmitMatchesGenerate is the streaming-generation parity criterion: for
+// EVERY registered workload — the paper's seven, the extended matrix and the
+// cross-workload mix — the streamed emission must produce exactly the
+// sequence the materialized Generate path produces, element for element.
+// Since Generate is Collect over a fresh generator's Emit, comparing two
+// independently constructed generators also re-proves determinism across the
+// push path.
+func TestEmitMatchesGenerate(t *testing.T) {
+	cfg := testConfig()
+	for _, spec := range Registry() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			want := spec.New(cfg).Generate()
+			var got []mem.Access
+			if err := spec.New(cfg).Emit(func(a mem.Access) error {
+				got = append(got, a)
+				return nil
+			}); err != nil {
+				t.Fatalf("Emit failed: %v", err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("Emit produced %d accesses, Generate %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("access %d: Emit %+v != Generate %+v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestEmitStopsOnYieldError: a failing sink must abort emission promptly —
+// the generator must not keep producing the rest of the trace — and the
+// yield's error must come back unchanged.
+func TestEmitStopsOnYieldError(t *testing.T) {
+	cfg := testConfig()
+	sentinel := errors.New("sink full")
+	for _, spec := range Registry() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			total := len(spec.New(cfg).Generate())
+			const stopAfter = 100
+			seen := 0
+			err := spec.New(cfg).Emit(func(a mem.Access) error {
+				seen++
+				if seen >= stopAfter {
+					return sentinel
+				}
+				return nil
+			})
+			if !errors.Is(err, sentinel) {
+				t.Fatalf("Emit returned %v, want the yield error", err)
+			}
+			// "Promptly" = well before the end of the trace; the emitter
+			// latching pattern may finish the current transaction/phase
+			// bookkeeping, but must not run generation to completion.
+			if seen >= total/2 {
+				t.Fatalf("Emit yielded %d of %d accesses after the error; abort is not prompt", seen, total)
+			}
+		})
+	}
+}
+
+// TestInterleaveEmitMatchesInterleave: the bounded-buffer streaming
+// interleaver must reproduce the materialized interleave exactly — same
+// output order AND same rng consumption — for awkward shapes (empty nodes,
+// unequal lengths, chunk boundaries).
+func TestInterleaveEmitMatchesInterleave(t *testing.T) {
+	shapes := [][]int{
+		{10, 25, 3},
+		{0, 7, 0, 129},
+		{64, 64, 64, 64},
+		{1},
+		{},
+	}
+	for _, chunk := range []int{0, 1, 4, 64} {
+		for _, shape := range shapes {
+			perNode := make([][]mem.Access, len(shape))
+			for n, ln := range shape {
+				for i := 0; i < ln; i++ {
+					perNode[n] = append(perNode[n], mem.Access{Node: mem.NodeID(n), Addr: mem.Addr(i * 64)})
+				}
+			}
+			want := interleave(perNode, chunk, rand.New(rand.NewSource(42)))
+			// interleave is itself built on interleaveEmit, so drive
+			// interleaveEmit with independently constructed cursors to make
+			// this a real two-implementation check.
+			cursors := make([]cursor, len(shape))
+			for n, ln := range shape {
+				n, ln := n, ln
+				i := 0
+				cursors[n] = cursor{n: ln, next: func() mem.Access {
+					a := mem.Access{Node: mem.NodeID(n), Addr: mem.Addr(i * 64)}
+					i++
+					return a
+				}}
+			}
+			var got []mem.Access
+			rngB := rand.New(rand.NewSource(42))
+			if err := interleaveEmit(cursors, chunk, rngB, func(a mem.Access) error {
+				got = append(got, a)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("chunk %d shape %v: %d streamed vs %d materialized", chunk, shape, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("chunk %d shape %v: access %d differs", chunk, shape, i)
+				}
+			}
+			// Both rngs must have advanced identically (same number of
+			// shuffle rounds): their next outputs agree.
+			rngA := rand.New(rand.NewSource(42))
+			interleave(perNode, chunk, rngA)
+			if rngA.Int63() != rngB.Int63() {
+				t.Fatalf("chunk %d shape %v: rng consumption diverged", chunk, shape)
+			}
+		}
+	}
+}
+
+// TestInterleaveEmitPropagatesError: a yield error aborts the merge at once.
+func TestInterleaveEmitPropagatesError(t *testing.T) {
+	sentinel := errors.New("stop")
+	i := 0
+	c := cursor{n: 100, next: func() mem.Access {
+		i++
+		return mem.Access{}
+	}}
+	err := interleaveEmit([]cursor{c}, 8, nil, func(mem.Access) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if i != 1 {
+		t.Fatalf("interleaveEmit pulled %d accesses after the error, want 1", i)
+	}
+}
+
+// TestMixColocatesParts: the mix must interleave BOTH parts' traffic —
+// key-value chains and CDN payload/connection regions — across all nodes, in
+// bursts no longer than the mix chunk.
+func TestMixColocatesParts(t *testing.T) {
+	cfg := testConfig()
+	m := NewMix(cfg)
+	if m.Name() != "mix" || m.Class() != Commercial {
+		t.Fatalf("mix identity wrong: %q/%v", m.Name(), m.Class())
+	}
+	if err := m.Timing().Validate(); err != nil {
+		t.Fatalf("mix timing profile invalid: %v", err)
+	}
+	accesses := m.Generate()
+	if len(accesses) == 0 {
+		t.Fatal("mix generated nothing")
+	}
+	kv := NewKVStore(cfg).Generate()
+	cdn := NewCDN(cfg).Generate()
+	if len(accesses) != len(kv)+len(cdn) {
+		t.Fatalf("mix emitted %d accesses, want %d (kv) + %d (cdn)", len(accesses), len(kv), len(cdn))
+	}
+	const regionShift = 32
+	regions := map[int]int{}
+	for _, a := range accesses {
+		regions[int(uint64(a.Addr)>>regionShift)]++
+	}
+	for _, r := range []int{regionKVChains, regionKVMeta, regionCDNObjects, regionCDNConn} {
+		if regions[r] == 0 {
+			t.Errorf("mix emitted no accesses in region %d; parts not colocated", r)
+		}
+	}
+	// Per-part subsequences must be preserved: filtering the mix by region
+	// family must reproduce each part's own stream.
+	var gotKV, gotCDN []mem.Access
+	for _, a := range accesses {
+		switch r := int(uint64(a.Addr) >> regionShift); r {
+		case regionKVChains, regionKVMeta, regionKVHeap, regionKVLocks:
+			gotKV = append(gotKV, a)
+		case regionCDNObjects, regionCDNConn:
+			gotCDN = append(gotCDN, a)
+		default:
+			t.Fatalf("mix emitted access in unexpected region %d", r)
+		}
+	}
+	for i := range kv {
+		if gotKV[i] != kv[i] {
+			t.Fatalf("mix reordered the kv subsequence at %d", i)
+		}
+	}
+	for i := range cdn {
+		if gotCDN[i] != cdn[i] {
+			t.Fatalf("mix reordered the cdn subsequence at %d", i)
+		}
+	}
+}
+
+// TestMixStopsOnYieldError: the mix's producer goroutines must shut down
+// promptly when the consumer fails (no leak, error returned).
+func TestMixStopsOnYieldError(t *testing.T) {
+	sentinel := errors.New("downstream dead")
+	seen := 0
+	err := NewMix(testConfig()).Emit(func(mem.Access) error {
+		seen++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if seen != 1 {
+		t.Fatalf("mix yielded %d accesses after the error", seen)
+	}
+}
+
+// TestRepeatLengthensTrace: Repeat must multiply the run length without
+// changing the Repeat=1 sequence (which is what keeps the goldens pinned)
+// and, for the phase-structured workloads, without changing the problem
+// footprint.
+func TestRepeatLengthensTrace(t *testing.T) {
+	base := testConfig()
+	double := base
+	double.Repeat = 2
+	for _, name := range []string{"em3d", "db2", "memkv", "cdn", "mix"} {
+		spec, ok := ByName(name)
+		if !ok {
+			t.Fatalf("unknown workload %q", name)
+		}
+		one := spec.New(base).Generate()
+		two := spec.New(double).Generate()
+		if len(two) < 3*len(one)/2 {
+			t.Errorf("%s: Repeat=2 produced %d accesses vs %d at Repeat=1; run length did not grow",
+				name, len(two), len(one))
+		}
+		explicit := base
+		explicit.Repeat = 1
+		same := spec.New(explicit).Generate()
+		if len(same) != len(one) {
+			t.Errorf("%s: explicit Repeat=1 changed the trace length", name)
+		}
+	}
+}
+
+// TestPaperPresetsCoverRegistry: every registered workload must have a paper
+// preset, and every preset must name a registered workload.
+func TestPaperPresetsCoverRegistry(t *testing.T) {
+	for _, spec := range Registry() {
+		p, ok := PaperPreset(spec.Name)
+		if !ok {
+			t.Errorf("no paper preset for %q", spec.Name)
+			continue
+		}
+		if p.Scale <= 0 || p.Repeat <= 0 {
+			t.Errorf("%s: preset %+v not positive", spec.Name, p)
+		}
+	}
+	if len(paperPresets) != len(Registry()) {
+		t.Errorf("%d presets for %d workloads", len(paperPresets), len(Registry()))
+	}
+	if _, ok := PaperPreset("bogus"); ok {
+		t.Error("PaperPreset of unknown workload should fail")
+	}
+}

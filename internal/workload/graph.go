@@ -36,7 +36,7 @@ func NewPageRank(cfg Config) *PageRank {
 		cfg:        cfg,
 		vertices:   scaled(24000, cfg.Scale, 64*cfg.Nodes),
 		hubs:       16,
-		iterations: 12,
+		iterations: repeated(12, cfg.Repeat),
 	}
 	g.buildGather()
 	return g
@@ -111,41 +111,36 @@ func (g *PageRank) buildGather() {
 	}
 }
 
-// Generate implements Generator. Each iteration every node scatters its own
+// Emit implements Generator. Each iteration every node scatters its own
 // vertices' ranks (writes) and then gathers along its in-edges in fixed
 // order; remote and hub sources are the coherent read misses.
-func (g *PageRank) Generate() []mem.Access {
+func (g *PageRank) Emit(yield func(mem.Access) error) error {
 	rng := rand.New(rand.NewSource(g.cfg.Seed + 311))
 	per := (g.vertices + g.cfg.Nodes - 1) / g.cfg.Nodes
-	var out []mem.Access
+	writes := make([]cursor, g.cfg.Nodes)
+	reads := make([]cursor, g.cfg.Nodes)
 	for it := 0; it < g.iterations; it++ {
 		// Scatter phase: owners update their vertices.
-		writes := make([][]mem.Access, g.cfg.Nodes)
 		for p := 0; p < g.cfg.Nodes; p++ {
-			lo, hi := p*per, (p+1)*per
-			if hi > g.vertices {
-				hi = g.vertices
-			}
-			for v := lo; v < hi; v++ {
-				writes[p] = append(writes[p], mem.Access{
-					Node: mem.NodeID(p), Addr: blockAddr(g.cfg.Geometry, regionGraphRank, v),
-					Type: mem.Write, Shared: true,
-				})
-			}
+			lo, hi := band(p, per, g.vertices)
+			writes[p] = rangeCursor(g.cfg.Geometry, mem.NodeID(p), regionGraphRank, lo, hi, mem.Write)
 		}
-		out = append(out, interleave(writes, 64, rng)...)
+		if err := interleaveEmit(writes, 64, rng, yield); err != nil {
+			return err
+		}
 
 		// Gather phase: fixed-order rank reads along the in-edges.
-		reads := make([][]mem.Access, g.cfg.Nodes)
 		for p := 0; p < g.cfg.Nodes; p++ {
-			for _, src := range g.gather[p] {
-				reads[p] = append(reads[p], mem.Access{
-					Node: mem.NodeID(p), Addr: blockAddr(g.cfg.Geometry, regionGraphRank, src),
-					Type: mem.Read, Shared: true,
-				})
-			}
+			list := g.gather[p]
+			reads[p] = indexCursor(g.cfg.Geometry, mem.NodeID(p), regionGraphRank, len(list),
+				func(i int) int { return list[i] }, mem.Read)
 		}
-		out = append(out, interleave(reads, 64, rng)...)
+		if err := interleaveEmit(reads, 64, rng, yield); err != nil {
+			return err
+		}
 	}
-	return out
+	return nil
 }
+
+// Generate implements Generator.
+func (g *PageRank) Generate() []mem.Access { return Collect(g) }

@@ -36,7 +36,7 @@ func NewKVStore(cfg Config) *KVStore {
 	return &KVStore{
 		cfg:    cfg,
 		chains: scaled(1200, cfg.Scale, 96),
-		ops:    scaled(9000, cfg.Scale, 700),
+		ops:    repeated(scaled(9000, cfg.Scale, 700), cfg.Repeat),
 	}
 }
 
@@ -60,10 +60,10 @@ func (k *KVStore) Timing() TimingProfile {
 	}
 }
 
-// Generate implements Generator. Operations execute on round-robin nodes;
+// Emit implements Generator. Operations execute on round-robin nodes;
 // each GET walks the key's chain in canonical order, each SET rewrites the
 // chain's value blocks, and both touch the LRU/statistics metadata.
-func (k *KVStore) Generate() []mem.Access {
+func (k *KVStore) Emit(yield func(mem.Access) error) error {
 	rng := rand.New(rand.NewSource(k.cfg.Seed + 211))
 
 	// Chains are scattered across the record space (hash tables do not keep
@@ -96,9 +96,9 @@ func (k *KVStore) Generate() []mem.Access {
 		hotHeap[i] = rng.Intn(1 << 20)
 	}
 
-	var out []mem.Access
+	em := &emitter{yield: yield}
 	add := func(node, region, index int, typ mem.AccessType, spin bool) {
-		out = append(out, mem.Access{
+		em.emit(mem.Access{
 			Node:   mem.NodeID(node),
 			Addr:   blockAddr(k.cfg.Geometry, region, index),
 			Type:   typ,
@@ -108,7 +108,7 @@ func (k *KVStore) Generate() []mem.Access {
 	}
 
 	node := 0
-	for op := 0; op < k.ops; op++ {
+	for op := 0; op < k.ops && !em.failed(); op++ {
 		// Connection handling is distributed round-robin with some affinity.
 		if rng.Float64() < 0.85 {
 			node = (node + 1) % k.cfg.Nodes
@@ -149,5 +149,8 @@ func (k *KVStore) Generate() []mem.Access {
 		}
 		add(node, regionKVHeap, hotHeap[rng.Intn(len(hotHeap))], mem.Write, false)
 	}
-	return out
+	return em.err
 }
+
+// Generate implements Generator.
+func (k *KVStore) Generate() []mem.Access { return Collect(k) }

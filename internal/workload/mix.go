@@ -1,0 +1,137 @@
+package workload
+
+import (
+	"math/rand"
+
+	"tsm/internal/mem"
+)
+
+// Mix colocates several workloads on one machine — the cross-workload
+// scenario none of the paper's single-application runs exhibits. The default
+// mix pairs the key-value store with the content-distribution tier: a serving
+// stack where short, Zipf-hot KV chains (frequent short streams) interleave
+// with long ordered CDN payload runs (scientific-length streams) on the SAME
+// nodes, so each node's consumption order alternates between the two
+// workloads' textures. That phase alternation is what stresses the TSE's
+// per-node stream following: streams are repeatedly interrupted and resumed,
+// unlike any single workload in the suite.
+//
+// Mix is built directly on the streaming emission path: each part's Emit
+// runs on its own producer goroutine behind a bounded buffer (see pull in
+// emit.go), and the mixer pulls phase-alternating bursts from each live part
+// in rng-shuffled order until all parts are exhausted. Memory is bounded by
+// the parts' own state plus the fixed pull buffers — never by trace length —
+// and the output is deterministic because a single consumer drains the
+// buffers in a seed-fixed order.
+type Mix struct {
+	cfg   Config
+	parts []Generator
+}
+
+// mixChunk is the burst length: how many consecutive accesses one part
+// contributes before the mixer switches to the next, mirroring how colocated
+// services timeshare a node between request handlers.
+const mixChunk = 64
+
+// NewMix builds the memkv+cdn colocated mix. Both parts run over all nodes
+// at the shared configuration; their address regions are disjoint by
+// construction (regionKV* vs regionCDN*), so the mix stresses scheduling and
+// stream interleaving rather than accidental aliasing.
+func NewMix(cfg Config) *Mix {
+	cfg = cfg.normalize()
+	return &Mix{
+		cfg:   cfg,
+		parts: []Generator{NewKVStore(cfg), NewCDN(cfg)},
+	}
+}
+
+// Name implements Generator.
+func (m *Mix) Name() string { return "mix" }
+
+// Class implements Generator. Both default parts are commercial services.
+func (m *Mix) Class() Class { return Commercial }
+
+// Timing implements Generator: the equal-share blend of the parts' profiles
+// (each part owns half of every node's time), with the lookahead of the
+// longer-lookahead part so the TSE can still run ahead on the CDN payload
+// streams.
+func (m *Mix) Timing() TimingProfile {
+	var p TimingProfile
+	for _, g := range m.parts {
+		t := g.Timing()
+		p.BusyFraction += t.BusyFraction
+		p.OtherStallFraction += t.OtherStallFraction
+		p.CoherentStallFraction += t.CoherentStallFraction
+		p.MLP += t.MLP
+		if t.Lookahead > p.Lookahead {
+			p.Lookahead = t.Lookahead
+		}
+	}
+	n := float64(len(m.parts))
+	p.BusyFraction /= n
+	p.OtherStallFraction /= n
+	p.CoherentStallFraction /= n
+	p.MLP /= n
+	return p
+}
+
+// Emit implements Generator: pull phase-alternating bursts from each part's
+// bounded-buffer stream, shuffling the visit order each round, until every
+// part is exhausted.
+func (m *Mix) Emit(yield func(mem.Access) error) error {
+	rng := rand.New(rand.NewSource(m.cfg.Seed + 503))
+	pulls := make([]*pull, len(m.parts))
+	for i, g := range m.parts {
+		pulls[i] = newPull(g)
+	}
+	defer func() {
+		for _, p := range pulls {
+			p.stop()
+		}
+	}()
+
+	order := make([]int, len(pulls))
+	for i := range order {
+		order[i] = i
+	}
+	done := make([]bool, len(pulls))
+	alive := len(pulls)
+	var yerr error
+	for alive > 0 && yerr == nil {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, i := range order {
+			if done[i] {
+				continue
+			}
+			for k := 0; k < mixChunk; k++ {
+				a, ok := pulls[i].next()
+				if !ok {
+					done[i] = true
+					alive--
+					break
+				}
+				if yerr = yield(a); yerr != nil {
+					break
+				}
+			}
+			if yerr != nil {
+				break
+			}
+		}
+	}
+
+	// Stop the producers and surface any generation error a part reported
+	// (the early-stop sentinel is already mapped to nil by the adapter).
+	for _, p := range pulls {
+		p.stop()
+	}
+	for _, p := range pulls {
+		if err := p.err(); err != nil && yerr == nil {
+			yerr = err
+		}
+	}
+	return yerr
+}
+
+// Generate implements Generator.
+func (m *Mix) Generate() []mem.Access { return Collect(m) }

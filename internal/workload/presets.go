@@ -1,0 +1,55 @@
+package workload
+
+// Paper-scale presets. The default problem sizes were chosen when the whole
+// access stream had to fit in memory; with generation now streaming in
+// constant memory, the cap is gone and traces can approach the footprints
+// the paper actually ran (Table 2). A preset raises Scale (the data-structure
+// footprint) and Repeat (the run length) together:
+//
+//   - em3d:     Scale 10 restores the 400K-node graph (default 40K).
+//   - moldyn:   Scale 2.4 restores ~19.6K molecules (default 8192).
+//   - ocean:    Scale 2 restores the 514x514 grid (default 258x258; the grid
+//               side scales linearly, cells quadratically).
+//   - db2/oracle: Scale 4 grows the record-group working set toward the
+//               100-warehouse buffer pools; Repeat 4 runs 40K transactions.
+//   - apache/zeus: Scale 2 widens the per-connection metadata toward 16K
+//               connections; Repeat 4 sustains the request stream.
+//   - memkv:    Scale 2 doubles the keyspace; Repeat 4 serves 72K operations.
+//   - pagerank: Scale 4 grows the graph toward ~100K vertices.
+//   - cdn:      Scale 2 doubles the catalog; Repeat 4 serves 48K requests.
+//   - mix:      the memkv/cdn preset applied to both colocated parts.
+//
+// Repeat lengthens the trace without growing generator state, so a preset
+// run's memory footprint is still the (scaled) problem state alone.
+
+// Preset is a named problem-size configuration for one workload.
+type Preset struct {
+	// Scale multiplies the data-structure footprint (Config.Scale).
+	Scale float64
+	// Repeat multiplies the run length (Config.Repeat).
+	Repeat float64
+}
+
+// paperPresets maps workload name to its paper-scale preset.
+var paperPresets = map[string]Preset{
+	"em3d":     {Scale: 10, Repeat: 1},
+	"moldyn":   {Scale: 2.4, Repeat: 1},
+	"ocean":    {Scale: 2, Repeat: 1},
+	"apache":   {Scale: 2, Repeat: 4},
+	"db2":      {Scale: 4, Repeat: 4},
+	"oracle":   {Scale: 4, Repeat: 4},
+	"zeus":     {Scale: 2, Repeat: 4},
+	"memkv":    {Scale: 2, Repeat: 4},
+	"pagerank": {Scale: 4, Repeat: 1},
+	"cdn":      {Scale: 2, Repeat: 4},
+	"mix":      {Scale: 2, Repeat: 4},
+}
+
+// PaperPreset returns the Scale/Repeat at which the named workload's
+// synthetic problem approaches the footprint the paper ran (see the package
+// comment above for the per-workload mapping). ok is false for unknown
+// workload names.
+func PaperPreset(name string) (Preset, bool) {
+	p, ok := paperPresets[name]
+	return p, ok
+}

@@ -43,7 +43,7 @@ func NewEM3D(cfg Config) *EM3D {
 		degree:     2,
 		span:       5,
 		remotePct:  0.15,
-		iterations: 15,
+		iterations: repeated(15, cfg.Repeat),
 	}
 	g.buildGraph()
 	return g
@@ -101,49 +101,59 @@ func (g *EM3D) buildGraph() {
 	}
 }
 
-// Generate implements Generator.
-func (g *EM3D) Generate() []mem.Access {
+// Emit implements Generator.
+func (g *EM3D) Emit(yield func(mem.Access) error) error {
 	rng := rand.New(rand.NewSource(g.cfg.Seed + 17))
 	per := (g.graphNodes + g.cfg.Nodes - 1) / g.cfg.Nodes
-	var out []mem.Access
+	// Per-node phase lengths are fixed across iterations; count the
+	// neighbour reads once.
+	readCount := make([]int, g.cfg.Nodes)
+	for p := 0; p < g.cfg.Nodes; p++ {
+		lo, hi := band(p, per, g.graphNodes)
+		for n := lo; n < hi; n++ {
+			readCount[p] += len(g.neighbors[n])
+		}
+	}
+	writes := make([]cursor, g.cfg.Nodes)
+	reads := make([]cursor, g.cfg.Nodes)
 	for it := 0; it < g.iterations; it++ {
 		// Phase 1: every processor updates its own graph nodes.
-		writes := make([][]mem.Access, g.cfg.Nodes)
 		for p := 0; p < g.cfg.Nodes; p++ {
-			lo, hi := p*per, (p+1)*per
-			if hi > g.graphNodes {
-				hi = g.graphNodes
-			}
-			for n := lo; n < hi; n++ {
-				writes[p] = append(writes[p], mem.Access{
-					Node: mem.NodeID(p), Addr: blockAddr(g.cfg.Geometry, regionEM3DValues, n),
-					Type: mem.Write, Shared: true,
-				})
-			}
+			lo, hi := band(p, per, g.graphNodes)
+			writes[p] = rangeCursor(g.cfg.Geometry, mem.NodeID(p), regionEM3DValues, lo, hi, mem.Write)
 		}
-		out = append(out, interleave(writes, 64, rng)...)
+		if err := interleaveEmit(writes, 64, rng, yield); err != nil {
+			return err
+		}
 
 		// Phase 2: every processor reads its neighbours' values in graph
 		// order; remote neighbours are the coherent read misses.
-		reads := make([][]mem.Access, g.cfg.Nodes)
 		for p := 0; p < g.cfg.Nodes; p++ {
-			lo, hi := p*per, (p+1)*per
-			if hi > g.graphNodes {
-				hi = g.graphNodes
-			}
-			for n := lo; n < hi; n++ {
-				for _, nb := range g.neighbors[n] {
-					reads[p] = append(reads[p], mem.Access{
-						Node: mem.NodeID(p), Addr: blockAddr(g.cfg.Geometry, regionEM3DValues, nb),
-						Type: mem.Read, Shared: true,
-					})
+			p := p
+			lo, _ := band(p, per, g.graphNodes)
+			n, d := lo, 0
+			reads[p] = cursor{n: readCount[p], next: func() mem.Access {
+				for d >= len(g.neighbors[n]) {
+					n++
+					d = 0
 				}
-			}
+				nb := g.neighbors[n][d]
+				d++
+				return mem.Access{
+					Node: mem.NodeID(p), Addr: blockAddr(g.cfg.Geometry, regionEM3DValues, nb),
+					Type: mem.Read, Shared: true,
+				}
+			}}
 		}
-		out = append(out, interleave(reads, 64, rng)...)
+		if err := interleaveEmit(reads, 64, rng, yield); err != nil {
+			return err
+		}
 	}
-	return out
+	return nil
 }
+
+// Generate implements Generator.
+func (g *EM3D) Generate() []mem.Access { return Collect(g) }
 
 // Moldyn models the molecular-dynamics kernel of Mukherjee et al.: molecules
 // are partitioned across processors; every iteration each processor updates
@@ -170,7 +180,7 @@ func NewMoldyn(cfg Config) *Moldyn {
 		molecules:    scaled(8192, cfg.Scale, 64*cfg.Nodes),
 		rebuildEvery: 6,
 		churn:        0.08,
-		iterations:   15,
+		iterations:   repeated(15, cfg.Repeat),
 	}
 	m.interactions = m.molecules * 6
 	return m
@@ -198,8 +208,8 @@ func (m *Moldyn) owner(mol int) int {
 	return mol / per
 }
 
-// Generate implements Generator.
-func (m *Moldyn) Generate() []mem.Access {
+// Emit implements Generator.
+func (m *Moldyn) Emit(yield func(mem.Access) error) error {
 	rng := rand.New(rand.NewSource(m.cfg.Seed + 29))
 	per := (m.molecules + m.cfg.Nodes - 1) / m.cfg.Nodes
 	// Interaction list: pairs (local molecule, partner molecule). Partners
@@ -243,7 +253,8 @@ func (m *Moldyn) Generate() []mem.Access {
 	}
 	pairs := buildPairs()
 
-	var out []mem.Access
+	writes := make([]cursor, m.cfg.Nodes)
+	reads := make([]cursor, m.cfg.Nodes)
 	for it := 0; it < m.iterations; it++ {
 		if it > 0 && it%m.rebuildEvery == 0 {
 			// Periodic neighbour-list rebuild: a fraction of pairs change.
@@ -268,35 +279,29 @@ func (m *Moldyn) Generate() []mem.Access {
 			}
 		}
 		// Phase 1: position updates (writes by owners).
-		writes := make([][]mem.Access, m.cfg.Nodes)
 		for p := 0; p < m.cfg.Nodes; p++ {
-			lo, hi := p*per, (p+1)*per
-			if hi > m.molecules {
-				hi = m.molecules
-			}
-			for mol := lo; mol < hi; mol++ {
-				writes[p] = append(writes[p], mem.Access{
-					Node: mem.NodeID(p), Addr: blockAddr(m.cfg.Geometry, regionMoldynPos, mol),
-					Type: mem.Write, Shared: true,
-				})
-			}
+			lo, hi := band(p, per, m.molecules)
+			writes[p] = rangeCursor(m.cfg.Geometry, mem.NodeID(p), regionMoldynPos, lo, hi, mem.Write)
 		}
-		out = append(out, interleave(writes, 64, rng)...)
+		if err := interleaveEmit(writes, 64, rng, yield); err != nil {
+			return err
+		}
 
 		// Phase 2: force computation reads partner positions in list order.
-		reads := make([][]mem.Access, m.cfg.Nodes)
 		for p := 0; p < m.cfg.Nodes; p++ {
-			for _, pr := range pairs[p] {
-				reads[p] = append(reads[p], mem.Access{
-					Node: mem.NodeID(p), Addr: blockAddr(m.cfg.Geometry, regionMoldynPos, pr.partner),
-					Type: mem.Read, Shared: true,
-				})
-			}
+			list := pairs[p]
+			reads[p] = indexCursor(m.cfg.Geometry, mem.NodeID(p), regionMoldynPos, len(list),
+				func(i int) int { return list[i].partner }, mem.Read)
 		}
-		out = append(out, interleave(reads, 64, rng)...)
+		if err := interleaveEmit(reads, 64, rng, yield); err != nil {
+			return err
+		}
 	}
-	return out
+	return nil
 }
+
+// Generate implements Generator.
+func (m *Moldyn) Generate() []mem.Access { return Collect(m) }
 
 // Ocean models the SPLASH-2 ocean current simulation: a 2D grid partitioned
 // into horizontal bands, one per processor. Each relaxation sweep a
@@ -314,7 +319,7 @@ type Ocean struct {
 func NewOcean(cfg Config) *Ocean {
 	cfg = cfg.normalize()
 	side := scaled(258, cfg.Scale, 4*cfg.Nodes)
-	return &Ocean{cfg: cfg, rows: side, cols: side, iterations: 12}
+	return &Ocean{cfg: cfg, rows: side, cols: side, iterations: repeated(12, cfg.Repeat)}
 }
 
 // Name implements Generator.
@@ -334,8 +339,8 @@ func (o *Ocean) Timing() TimingProfile {
 	}
 }
 
-// Generate implements Generator.
-func (o *Ocean) Generate() []mem.Access {
+// Emit implements Generator.
+func (o *Ocean) Emit(yield func(mem.Access) error) error {
 	rng := rand.New(rand.NewSource(o.cfg.Seed + 43))
 	bandRows := (o.rows + o.cfg.Nodes - 1) / o.cfg.Nodes
 	// Ocean keeps several grids (stream function, vorticity, ...); the
@@ -348,53 +353,70 @@ func (o *Ocean) Generate() []mem.Access {
 	cellB := func(r, c int) mem.Addr {
 		return blockAddr(o.cfg.Geometry, regionOceanGrid2, r*o.cols+c)
 	}
-	var out []mem.Access
+	// rowCursor walks nrows rows (row(0)..row(nrows-1)) cell by cell,
+	// emitting the grid-A and grid-B access of each cell back to back.
+	rowCursor := func(p, nrows int, row func(int) int, typ mem.AccessType) cursor {
+		ri, c, second := 0, 0, false
+		return cursor{n: 2 * o.cols * nrows, next: func() mem.Access {
+			r := row(ri)
+			var addr mem.Addr
+			if second {
+				addr = cellB(r, c)
+				c++
+				if c == o.cols {
+					c = 0
+					ri++
+				}
+			} else {
+				addr = cellA(r, c)
+			}
+			second = !second
+			return mem.Access{Node: mem.NodeID(p), Addr: addr, Type: typ, Shared: true}
+		}}
+	}
+	writes := make([]cursor, o.cfg.Nodes)
+	reads := make([]cursor, o.cfg.Nodes)
 	for it := 0; it < o.iterations; it++ {
 		// Phase 1: interior update — each processor writes its band of both
 		// grids.
-		writes := make([][]mem.Access, o.cfg.Nodes)
 		for p := 0; p < o.cfg.Nodes; p++ {
-			lo, hi := p*bandRows, (p+1)*bandRows
-			if hi > o.rows {
-				hi = o.rows
+			lo, hi := band(p, bandRows, o.rows)
+			nrows := hi - lo
+			if nrows < 0 {
+				nrows = 0
 			}
-			for r := lo; r < hi; r++ {
-				for c := 0; c < o.cols; c++ {
-					writes[p] = append(writes[p],
-						mem.Access{Node: mem.NodeID(p), Addr: cellA(r, c), Type: mem.Write, Shared: true},
-						mem.Access{Node: mem.NodeID(p), Addr: cellB(r, c), Type: mem.Write, Shared: true},
-					)
-				}
-			}
+			writes[p] = rowCursor(p, nrows, func(i int) int { return lo + i }, mem.Write)
 		}
-		out = append(out, interleave(writes, 128, rng)...)
+		if err := interleaveEmit(writes, 128, rng, yield); err != nil {
+			return err
+		}
 
 		// Phase 2: boundary exchange — each processor reads the rows just
 		// outside its band from both grids, in a tight burst (large
 		// interleave chunk), which is what gives ocean its bursty
 		// consumption behaviour and high MLP.
-		reads := make([][]mem.Access, o.cfg.Nodes)
-		boundaryRead := func(p, r int) {
-			for c := 0; c < o.cols; c++ {
-				reads[p] = append(reads[p],
-					mem.Access{Node: mem.NodeID(p), Addr: cellA(r, c), Type: mem.Read, Shared: true},
-					mem.Access{Node: mem.NodeID(p), Addr: cellB(r, c), Type: mem.Read, Shared: true},
-				)
-			}
-		}
 		for p := 0; p < o.cfg.Nodes; p++ {
-			lo, hi := p*bandRows, (p+1)*bandRows
-			if hi > o.rows {
-				hi = o.rows
-			}
+			lo, hi := band(p, bandRows, o.rows)
+			// The rows just outside the band: above (when the band does not
+			// start the grid) and below (when it does not end it).
+			var boundary [2]int
+			nrows := 0
 			if lo > 0 {
-				boundaryRead(p, lo-1)
+				boundary[nrows] = lo - 1
+				nrows++
 			}
 			if hi < o.rows {
-				boundaryRead(p, hi)
+				boundary[nrows] = hi
+				nrows++
 			}
+			reads[p] = rowCursor(p, nrows, func(i int) int { return boundary[i] }, mem.Read)
 		}
-		out = append(out, interleave(reads, 2*o.cols, rng)...)
+		if err := interleaveEmit(reads, 2*o.cols, rng, yield); err != nil {
+			return err
+		}
 	}
-	return out
+	return nil
 }
+
+// Generate implements Generator.
+func (o *Ocean) Generate() []mem.Access { return Collect(o) }

@@ -50,13 +50,20 @@ type Config struct {
 	// Scale multiplies the default problem size; tests use small scales,
 	// the benchmark harness uses 1.0.
 	Scale float64
+	// Repeat multiplies the workload's run length — iterations,
+	// transactions, requests — WITHOUT growing its data-structure
+	// footprint. Scale grows the problem (and with it the per-generator
+	// state); Repeat only lengthens the trace, which is what makes
+	// paper-scale runs affordable now that generation streams in constant
+	// memory. Zero or negative means 1.
+	Repeat float64
 	// Geometry supplies the block size.
 	Geometry mem.Geometry
 }
 
 // DefaultConfig returns a 16-node configuration at full scale.
 func DefaultConfig() Config {
-	return Config{Nodes: 16, Seed: 1, Scale: 1.0, Geometry: mem.DefaultGeometry()}
+	return Config{Nodes: 16, Seed: 1, Scale: 1.0, Repeat: 1.0, Geometry: mem.DefaultGeometry()}
 }
 
 // normalize fills in zero fields with defaults.
@@ -66,6 +73,9 @@ func (c Config) normalize() Config {
 	}
 	if c.Scale <= 0 {
 		c.Scale = 1.0
+	}
+	if c.Repeat <= 0 {
+		c.Repeat = 1.0
 	}
 	if c.Geometry.BlockSize == 0 {
 		c.Geometry = mem.DefaultGeometry()
@@ -81,6 +91,17 @@ func scaled(base int, scale float64, min int) int {
 	v := int(float64(base) * scale)
 	if v < min {
 		return min
+	}
+	return v
+}
+
+// repeated applies the Repeat run-length multiplier to a count, never going
+// below one. At Repeat=1 it is the identity, which is what keeps the default
+// traces (and every pinned golden) byte-identical.
+func repeated(base int, repeat float64) int {
+	v := int(float64(base) * repeat)
+	if v < 1 {
+		return 1
 	}
 	return v
 }
@@ -121,12 +142,24 @@ func (p TimingProfile) Validate() error {
 }
 
 // Generator produces the global interleaved access stream of one workload.
+//
+// Emit is the primary contract: it pushes the globally ordered stream one
+// access at a time, holding only the generator's fixed problem state (graphs,
+// record groups, interaction lists) — never a buffer proportional to the
+// trace length — so arbitrarily long traces generate in constant memory.
+// Generate is the thin collect-adapter over Emit (see Collect) retained for
+// callers that want the materialized slice; both paths produce the exact same
+// sequence by construction.
 type Generator interface {
 	// Name returns the workload name as used in the paper's figures.
 	Name() string
 	// Class returns the workload class.
 	Class() Class
-	// Generate produces the globally ordered access stream.
+	// Emit streams the globally ordered accesses to yield, one at a time.
+	// A non-nil error from yield aborts emission promptly and is returned.
+	Emit(yield func(mem.Access) error) error
+	// Generate produces the globally ordered access stream by collecting
+	// Emit into a slice.
 	Generate() []mem.Access
 	// Timing returns the workload's timing profile.
 	Timing() TimingProfile
@@ -140,6 +173,12 @@ type Spec struct {
 	Class Class
 	// Parameters summarises the Table 2 configuration being modelled.
 	Parameters string
+	// Extra marks workloads outside the default evaluation suite (the
+	// cross-workload mixes): ByName finds them and every pipeline accepts
+	// them, but suite-wide experiments do not iterate them by default, so
+	// the pinned per-suite goldens are independent of how many extras are
+	// registered.
+	Extra bool
 	// New constructs a generator.
 	New func(Config) Generator
 }
@@ -182,11 +221,30 @@ func Registry() []Spec {
 		{Name: "cdn", Class: Commercial,
 			Parameters: "600 multi-block objects, Zipf(1.05) popularity, origin refresh",
 			New:        func(c Config) Generator { return NewCDN(c) }},
+		// Cross-workload mixes (Extra: addressable everywhere, excluded from
+		// the default suite iteration so the suite goldens stay pinned).
+		{Name: "mix", Class: Commercial, Extra: true,
+			Parameters: "memkv + cdn colocated, phase-alternating 64-access bursts",
+			New:        func(c Config) Generator { return NewMix(c) }},
 	}
 }
 
-// Names returns the registered workload names in order.
+// Names returns the default evaluation suite's workload names in order — the
+// paper's seven applications plus the extended scenario matrix, excluding the
+// Extra cross-workload mixes. Suite-wide experiments iterate this list.
 func Names() []string {
+	var names []string
+	for _, s := range Registry() {
+		if !s.Extra {
+			names = append(names, s.Name)
+		}
+	}
+	return names
+}
+
+// AllNames returns every registered workload name in order, including the
+// Extra cross-workload mixes.
+func AllNames() []string {
 	specs := Registry()
 	names := make([]string, len(specs))
 	for i, s := range specs {
@@ -208,44 +266,20 @@ func ByName(name string) (Spec, bool) {
 // interleave merges per-node access slices into a single global order by
 // taking chunks from each node in round-robin fashion, approximating the
 // simultaneous progress of the nodes within a phase. chunk controls how many
-// consecutive accesses a node performs before the next node runs.
+// consecutive accesses a node performs before the next node runs. It is the
+// materialized form of interleaveEmit (see emit.go), retained for tests and
+// differential checks; the generators stream through interleaveEmit directly.
 func interleave(perNode [][]mem.Access, chunk int, rng *rand.Rand) []mem.Access {
-	if chunk <= 0 {
-		chunk = 8
-	}
 	total := 0
-	idx := make([]int, len(perNode))
 	for _, s := range perNode {
 		total += len(s)
 	}
 	out := make([]mem.Access, 0, total)
-	order := make([]int, len(perNode))
-	for i := range order {
-		order[i] = i
-	}
-	for len(out) < total {
-		// Shuffle node visit order each round so no node is always first.
-		if rng != nil {
-			rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-		}
-		progressed := false
-		for _, n := range order {
-			s := perNode[n]
-			if idx[n] >= len(s) {
-				continue
-			}
-			end := idx[n] + chunk
-			if end > len(s) {
-				end = len(s)
-			}
-			out = append(out, s[idx[n]:end]...)
-			idx[n] = end
-			progressed = true
-		}
-		if !progressed {
-			break
-		}
-	}
+	// The yield never fails, so neither does the merge.
+	_ = interleaveEmit(sliceCursors(perNode), chunk, rng, func(a mem.Access) error {
+		out = append(out, a)
+		return nil
+	})
 	return out
 }
 

@@ -15,10 +15,10 @@ func testConfig() Config {
 
 func TestRegistryComplete(t *testing.T) {
 	specs := Registry()
-	if len(specs) != 10 {
-		t.Fatalf("registry has %d workloads, want 10", len(specs))
+	if len(specs) != 11 {
+		t.Fatalf("registry has %d workloads, want 11", len(specs))
 	}
-	wantOrder := []string{"em3d", "moldyn", "ocean", "apache", "db2", "oracle", "zeus", "memkv", "pagerank", "cdn"}
+	wantOrder := []string{"em3d", "moldyn", "ocean", "apache", "db2", "oracle", "zeus", "memkv", "pagerank", "cdn", "mix"}
 	for i, s := range specs {
 		if s.Name != wantOrder[i] {
 			t.Fatalf("registry[%d] = %q, want %q", i, s.Name, wantOrder[i])
@@ -29,15 +29,35 @@ func TestRegistryComplete(t *testing.T) {
 		if s.New == nil {
 			t.Errorf("workload %q has no constructor", s.Name)
 		}
+		if s.Extra != (s.Name == "mix") {
+			t.Errorf("workload %q Extra = %v; only the cross-workload mixes are extras", s.Name, s.Extra)
+		}
 	}
+	// Names() is the default suite — everything but the extras — so the
+	// suite-wide experiment goldens are independent of registered mixes.
 	names := Names()
-	for i := range wantOrder {
+	if len(names) != 10 {
+		t.Fatalf("Names() = %v, want the 10 suite workloads", names)
+	}
+	for i := range names {
 		if names[i] != wantOrder[i] {
 			t.Fatalf("Names() = %v", names)
 		}
 	}
+	all := AllNames()
+	if len(all) != len(wantOrder) {
+		t.Fatalf("AllNames() = %v", all)
+	}
+	for i := range wantOrder {
+		if all[i] != wantOrder[i] {
+			t.Fatalf("AllNames() = %v", all)
+		}
+	}
 	if _, ok := ByName("db2"); !ok {
 		t.Fatal("ByName(db2) should succeed")
+	}
+	if _, ok := ByName("mix"); !ok {
+		t.Fatal("ByName(mix) should find the extra workloads")
 	}
 	if _, ok := ByName("notarealworkload"); ok {
 		t.Fatal("ByName of unknown workload should fail")

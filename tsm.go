@@ -40,6 +40,12 @@ type Options struct {
 	Nodes int
 	// Scale scales the synthetic problem sizes (default 1.0).
 	Scale float64
+	// Repeat multiplies the workload run length — iterations, transactions,
+	// requests — without growing the generator's data-structure state
+	// (default 1.0). With streamed generation this lengthens traces at
+	// constant memory; see workload.PaperPreset for the paper-scale
+	// combinations of Scale and Repeat.
+	Repeat float64
 	// Seed makes generation deterministic (default 1).
 	Seed int64
 	// Lookahead overrides the per-workload stream lookahead (0 = use the
@@ -53,6 +59,9 @@ func (o Options) normalize() Options {
 	}
 	if o.Scale <= 0 {
 		o.Scale = 1.0
+	}
+	if o.Repeat <= 0 {
+		o.Repeat = 1.0
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
@@ -74,6 +83,12 @@ func (o Options) Validate() error {
 	if math.IsNaN(o.Scale) || math.IsInf(o.Scale, 0) {
 		return fmt.Errorf("tsm: Options.Scale is not finite (%v)", o.Scale)
 	}
+	if o.Repeat < 0 {
+		return fmt.Errorf("tsm: Options.Repeat is negative (%g); use 0 for the default of 1.0", o.Repeat)
+	}
+	if math.IsNaN(o.Repeat) || math.IsInf(o.Repeat, 0) {
+		return fmt.Errorf("tsm: Options.Repeat is not finite (%v)", o.Repeat)
+	}
 	if o.Lookahead < 0 {
 		return fmt.Errorf("tsm: Options.Lookahead is negative (%d); use 0 for the workload's Table 3 value", o.Lookahead)
 	}
@@ -89,10 +104,16 @@ func (o Options) checked() (Options, error) {
 	return o.normalize(), nil
 }
 
-// Workloads returns the names of the registered workloads — the paper's
-// seven-application suite followed by the extended scenario matrix — in
-// presentation order.
+// Workloads returns the names of the default workload suite — the paper's
+// seven applications followed by the extended scenario matrix — in
+// presentation order. The cross-workload mixes are addressable by name in
+// every entry point but are not part of the default suite; AllWorkloads
+// includes them.
 func Workloads() []string { return workload.Names() }
+
+// AllWorkloads returns every registered workload name, including the
+// cross-workload mixes ("mix": memkv + cdn colocated).
+func AllWorkloads() []string { return workload.AllNames() }
 
 // Experiments returns the identifiers of every reproducible table and figure.
 func Experiments() []string {
@@ -124,24 +145,35 @@ type EventSink = stream.Sink
 // can rebuild the matching generator and options.
 type TraceMeta = stream.Meta
 
+// newGenerator builds the named workload's generator at the given
+// (normalized) options.
+func newGenerator(name string, opts Options) (Generator, error) {
+	spec, ok := workload.ByName(strings.ToLower(name))
+	if !ok {
+		return nil, fmt.Errorf("tsm: unknown workload %q (known: %s)", name, strings.Join(AllWorkloads(), ", "))
+	}
+	return spec.New(workload.Config{Nodes: opts.Nodes, Seed: opts.Seed, Scale: opts.Scale, Repeat: opts.Repeat}), nil
+}
+
 // StreamTrace builds the named workload and streams the classified trace
-// events into sink as the functional coherence engine produces them — the
-// trace is never materialized, so arbitrarily large workloads stream in
-// constant memory. It returns the generator (for timing profiles) and the
+// events into sink as the functional coherence engine produces them. Neither
+// the access stream nor the trace is ever materialized — the generator's
+// Emit feeds the engine one access at a time and each classified event goes
+// straight to the sink — so arbitrarily large workloads stream in constant
+// memory end to end. It returns the generator (for timing profiles) and the
 // number of events emitted. The sink is not closed.
 func StreamTrace(name string, opts Options, sink EventSink) (Generator, uint64, error) {
 	opts, err := opts.checked()
 	if err != nil {
 		return nil, 0, err
 	}
-	spec, ok := workload.ByName(strings.ToLower(name))
-	if !ok {
-		return nil, 0, fmt.Errorf("tsm: unknown workload %q (known: %s)", name, strings.Join(Workloads(), ", "))
+	gen, err := newGenerator(name, opts)
+	if err != nil {
+		return nil, 0, err
 	}
-	gen := spec.New(workload.Config{Nodes: opts.Nodes, Seed: opts.Seed, Scale: opts.Scale})
 	eng := coherence.New(coherence.Config{Nodes: opts.Nodes, Geometry: config.DefaultSystem().Geometry, PointersPerEntry: 2})
 	var n uint64
-	err = eng.RunStream(gen.Generate(), func(e trace.Event) error {
+	err = eng.RunSource(gen.Emit, func(e trace.Event) error {
 		if err := sink.Write(e); err != nil {
 			return err
 		}
@@ -156,7 +188,7 @@ func StreamTrace(name string, opts Options, sink EventSink) (Generator, uint64, 
 
 // traceMeta derives the file metadata for a generated trace.
 func traceMeta(gen Generator, opts Options) TraceMeta {
-	return TraceMeta{Workload: strings.ToLower(gen.Name()), Nodes: opts.Nodes, Scale: opts.Scale, Seed: opts.Seed}
+	return TraceMeta{Workload: strings.ToLower(gen.Name()), Nodes: opts.Nodes, Scale: opts.Scale, Seed: opts.Seed, Repeat: opts.Repeat}
 }
 
 // SaveTrace writes a trace to path in the versioned binary stream format
@@ -186,31 +218,36 @@ func LoadTrace(path string) (*Trace, TraceMeta, error) {
 func GeneratorFor(meta TraceMeta) (Generator, error) {
 	spec, ok := workload.ByName(strings.ToLower(meta.Workload))
 	if !ok {
-		return nil, fmt.Errorf("tsm: trace metadata names unknown workload %q (known: %s)", meta.Workload, strings.Join(Workloads(), ", "))
+		return nil, fmt.Errorf("tsm: trace metadata names unknown workload %q (known: %s)", meta.Workload, strings.Join(AllWorkloads(), ", "))
 	}
-	return spec.New(workload.Config{Nodes: meta.Nodes, Seed: meta.Seed, Scale: meta.Scale}), nil
+	return spec.New(workload.Config{Nodes: meta.Nodes, Seed: meta.Seed, Scale: meta.Scale, Repeat: meta.Repeat}), nil
 }
 
 // OptionsFor converts a trace file's metadata back into evaluation options.
 func OptionsFor(meta TraceMeta) Options {
-	return Options{Nodes: meta.Nodes, Scale: meta.Scale, Seed: meta.Seed}.normalize()
+	return Options{Nodes: meta.Nodes, Scale: meta.Scale, Seed: meta.Seed, Repeat: meta.Repeat}.normalize()
 }
 
 // GenerateTrace builds the named workload at the given options, runs it
 // through the functional coherence engine, and returns the classified trace
 // together with the generator (whose Timing profile the timing model needs).
+// The raw access stream is never materialized — only the classified trace
+// the caller asked for is.
 func GenerateTrace(name string, opts Options) (*Trace, Generator, error) {
 	opts, err := opts.checked()
 	if err != nil {
 		return nil, nil, err
 	}
-	spec, ok := workload.ByName(strings.ToLower(name))
-	if !ok {
-		return nil, nil, fmt.Errorf("tsm: unknown workload %q (known: %s)", name, strings.Join(Workloads(), ", "))
+	gen, err := newGenerator(name, opts)
+	if err != nil {
+		return nil, nil, err
 	}
-	gen := spec.New(workload.Config{Nodes: opts.Nodes, Seed: opts.Seed, Scale: opts.Scale})
 	eng := coherence.New(coherence.Config{Nodes: opts.Nodes, Geometry: config.DefaultSystem().Geometry, PointersPerEntry: 2})
-	return eng.Run(gen.Generate()), gen, nil
+	tr, err := eng.RunFrom(gen.Emit)
+	if err != nil {
+		return nil, nil, fmt.Errorf("tsm: generating %s trace: %w", name, err)
+	}
+	return tr, gen, nil
 }
 
 // Report is a compact evaluation summary for one model on one trace.

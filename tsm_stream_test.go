@@ -1,11 +1,63 @@
 package tsm
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
 	"tsm/internal/stream"
 )
+
+// TestStreamedTraceFileBytesMatchMaterialized is the tentpole's byte-level
+// acceptance criterion: for EVERY registered workload (the ten-suite plus the
+// mix), encoding the trace through the fully streamed pipeline — generator
+// Emit → coherence engine → codec, no intermediate slice anywhere — must
+// produce a .tsm byte stream identical to the materialized reference path
+// (Generate → Run → SaveTrace). This is the in-process form of the
+// `tracegen` vs `tracegen -materialize` byte-diff CI runs on a large
+// workload.
+func TestStreamedTraceFileBytesMatchMaterialized(t *testing.T) {
+	opts := Options{Nodes: 4, Scale: 0.03, Seed: 11}
+	for _, name := range AllWorkloads() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			// Streamed: no access slice, no event slice.
+			var streamed bytes.Buffer
+			w, err := stream.NewWriter(&streamed, stream.Meta{Workload: name, Nodes: opts.Nodes, Scale: opts.Scale, Seed: opts.Seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := StreamTrace(name, opts, w); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Materialized reference.
+			tr, gen, err := GenerateTrace(name, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var materialized bytes.Buffer
+			mw, err := stream.NewWriter(&materialized, stream.Meta{Workload: strings.ToLower(gen.Name()), Nodes: opts.Nodes, Scale: opts.Scale, Seed: opts.Seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := stream.Copy(mw, stream.TraceSource(tr)); err != nil {
+				t.Fatal(err)
+			}
+			if err := mw.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			if !bytes.Equal(streamed.Bytes(), materialized.Bytes()) {
+				t.Fatalf("%s: streamed .tsm (%d bytes) differs from materialized .tsm (%d bytes)",
+					name, streamed.Len(), materialized.Len())
+			}
+		})
+	}
+}
 
 // TestStreamTraceMatchesGenerateTrace: the streaming generation path must
 // emit exactly the events the materializing path produces.
@@ -79,15 +131,15 @@ func TestTraceFileRoundTripReport(t *testing.T) {
 }
 
 // TestFileReplayParityAllWorkloads is the PR's acceptance criterion: for
-// EVERY workload — the paper's seven and the extended matrix — all three
-// file-replay pipelines must agree bit for bit: the fused single-decode
+// EVERY workload — the paper's seven, the extended matrix and the
+// cross-workload mix — all three file-replay pipelines must agree bit for bit: the fused single-decode
 // fan-out engine (EvaluateTSEFile), the multipass reference that re-decodes
 // the file per consumer (EvaluateTSEFileMultipass), and the in-memory
 // pipeline over the loaded trace.
 func TestFileReplayParityAllWorkloads(t *testing.T) {
 	opts := Options{Nodes: 4, Scale: 0.03, Seed: 11}
 	dir := t.TempDir()
-	for _, name := range Workloads() {
+	for _, name := range AllWorkloads() {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			tr, gen, err := GenerateTrace(name, opts)

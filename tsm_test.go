@@ -16,7 +16,13 @@ func TestWorkloadsAndExperiments(t *testing.T) {
 	if len(Workloads()) != 10 {
 		t.Fatalf("Workloads() = %v", Workloads())
 	}
-	if len(Experiments()) != 14 {
+	if len(AllWorkloads()) != 11 {
+		t.Fatalf("AllWorkloads() = %v", AllWorkloads())
+	}
+	if AllWorkloads()[10] != "mix" {
+		t.Fatalf("AllWorkloads() should end with the mix: %v", AllWorkloads())
+	}
+	if len(Experiments()) != 15 {
 		t.Fatalf("Experiments() = %v", Experiments())
 	}
 }
