@@ -17,6 +17,7 @@ import (
 	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"strconv"
 	"strings"
 	"testing"
@@ -24,6 +25,7 @@ import (
 	"tsm/internal/analysis"
 	"tsm/internal/experiments"
 	"tsm/internal/mem"
+	"tsm/internal/pipeline"
 	"tsm/internal/stream"
 	"tsm/internal/timing"
 	"tsm/internal/tse"
@@ -563,6 +565,80 @@ func BenchmarkGenerateMaterialize(b *testing.B) {
 	}
 }
 
+// --- Sweep / broadcast benchmarks -----------------------------------------
+//
+// BenchmarkSweep measures the N-consumer fan-out that whole-sensitivity
+// sweeps ride, under both broadcast strategies and at sweep widths of
+// 4/16/64 consumers. The "broadcast" group isolates the engine itself with
+// drain-only consumers: with ReportAllocs it shows the ring allocating
+// O(ring) — the fixed slot buffers, reused lap after lap, independent of
+// both the consumer count and the trace length — where the channels
+// reference allocates a fresh chunk per broadcast and pays one channel send
+// per consumer per chunk. The "tse" group is the realistic end: one full TSE
+// model per cell riding the shared pass (analysis.SweepWith).
+func BenchmarkSweep(b *testing.B) {
+	d, w := ablationData(b)
+	strategyConfigs := []struct {
+		name string
+		s    pipeline.Strategy
+	}{{"ring", pipeline.Ring}, {"channels", pipeline.Channels}}
+
+	for _, consumers := range []int{4, 16, 64} {
+		for _, strat := range strategyConfigs {
+			b.Run(fmt.Sprintf("broadcast/%s/consumers=%d", strat.name, consumers), func(b *testing.B) {
+				b.ReportAllocs()
+				events := d.Trace.Len()
+				for i := 0; i < b.N; i++ {
+					sinks := make([]pipeline.Consumer, consumers)
+					for j := range sinks {
+						sinks[j] = pipeline.ConsumerFunc(func(src stream.Source) error {
+							for {
+								if _, err := src.Next(); err != nil {
+									if err == io.EOF {
+										return nil
+									}
+									return err
+								}
+							}
+						})
+					}
+					cfg := pipeline.Config{Strategy: strat.s}
+					if err := cfg.Run(stream.TraceSource(d.Trace), sinks...); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(events), "events")
+				b.ReportMetric(float64(consumers), "consumers")
+			})
+		}
+	}
+
+	// The realistic sweep: one TSE configuration per consumer (lookaheads
+	// cycled), every cell evaluated over the single shared pass.
+	for _, consumers := range []int{4, 16, 64} {
+		lookaheads := []int{1, 2, 4, 8, 16, 24}
+		cfgs := make([]tse.Config, consumers)
+		for i := range cfgs {
+			cfg := ablationConfig(w, d)
+			cfg.Lookahead = lookaheads[i%len(lookaheads)]
+			cfgs[i] = cfg
+		}
+		for _, strat := range strategyConfigs {
+			b.Run(fmt.Sprintf("tse/%s/consumers=%d", strat.name, consumers), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := analysis.SweepWith(pipeline.Config{Strategy: strat.s}, cfgs, stream.TraceSource(d.Trace))
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(100*res[0].Coverage.Coverage(), "coverage_pct")
+				}
+				b.ReportMetric(float64(consumers), "consumers")
+			})
+		}
+	}
+}
+
 // BenchmarkWorkloadGeneration measures raw workload generation plus
 // coherence classification throughput for each workload.
 func BenchmarkWorkloadGeneration(b *testing.B) {
@@ -634,6 +710,35 @@ func BenchmarkFileReplay(b *testing.B) {
 				b.Fatal(err)
 			}
 			b.ReportMetric(100*rep.Coverage, "coverage_pct")
+			b.ReportMetric(1, "decode_passes")
+		}
+	})
+	// The fused path under the channels broadcast (the pre-ring reference):
+	// same single decode, one channel send per consumer per chunk instead of
+	// the shared ring. Identical reports; the delta is broadcast cost.
+	b.Run("fused-channels", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f, err := stream.OpenFile(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, err := evaluateTSESourceWith(pipeline.Config{Strategy: pipeline.Channels}, f, f.Meta())
+			if err = stream.CloseMerge(f, err); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(100*rep.Coverage, "coverage_pct")
+			b.ReportMetric(1, "decode_passes")
+		}
+	})
+	// A whole sensitivity sweep over the file: every cell rides the same
+	// single decode (lookahead sweep, 6 TSE consumers, ring broadcast).
+	b.Run("sweep-lookahead", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cells, err := EvaluateTSESweepFile(path, "lookahead")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(len(cells)), "cells")
 			b.ReportMetric(1, "decode_passes")
 		}
 	})

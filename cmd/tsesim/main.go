@@ -10,6 +10,7 @@
 //	tsesim -experiment fig14 -workloads db2,oracle
 //	tsesim -i db2.tsm                        # evaluate TSE on a trace file
 //	tsesim -i db2.tsm -compare               # ...all Figure 12 models
+//	tsesim -i db2.tsm -sweep lookahead       # whole sensitivity sweep, one decode
 //	tsesim -list                             # list experiments and workloads
 //
 // With -i the evaluation uses the generation metadata embedded in the trace
@@ -20,9 +21,13 @@
 // exactly ONCE: the single decode pass is teed into every consumer by the
 // fan-out engine in internal/pipeline. -multipass restores the reference
 // path that decodes the file once per consumer, and -inmem the materializing
-// path (the reports are bit-identical in all three modes). Batches of
-// experiments run in parallel over a shared workspace (each workload's trace
-// is generated exactly once); -serial restores the one-at-a-time path.
+// path (the reports are bit-identical in all three modes). -sweep runs an
+// entire named sensitivity study (streams|lookahead|svb — the Figure 7/8/9
+// sweeps) with every cell riding that same single decode through the ring
+// fan-out, so a whole sweep costs one codec pass instead of one per cell.
+// Batches of experiments run in parallel over a shared workspace (each
+// workload's trace is generated exactly once); -serial restores the
+// one-at-a-time path.
 //
 // The output of each experiment is a plain-text table whose rows mirror the
 // corresponding table or figure in the paper; EXPERIMENTS.md records a
@@ -50,6 +55,7 @@ func main() {
 		seed         = flag.Int64("seed", 1, "workload generation seed")
 		input        = flag.String("i", "", "evaluate a trace file written by tracegen -o instead of running experiments")
 		compare      = flag.Bool("compare", false, "with -i: evaluate all Figure 12 models, not just TSE")
+		sweep        = flag.String("sweep", "", "with -i: run a named TSE sensitivity sweep (streams|lookahead|svb) over ONE decode of the file")
 		inmem        = flag.Bool("inmem", false, "with -i: materialize the trace instead of streaming it (same reports)")
 		multipass    = flag.Bool("multipass", false, "with -i: decode the file once per consumer instead of fusing into one pass (same reports)")
 		serial       = flag.Bool("serial", false, "run experiments one at a time instead of in parallel")
@@ -74,6 +80,17 @@ func main() {
 		if *inmem && *multipass {
 			fmt.Fprintln(os.Stderr, "tsesim: -inmem and -multipass are mutually exclusive (both are alternatives to the fused streamed path)")
 			os.Exit(2)
+		}
+		if *sweep != "" {
+			if *compare || *inmem || *multipass {
+				fmt.Fprintln(os.Stderr, "tsesim: -sweep runs on the fused single-decode path and cannot combine with -compare, -inmem or -multipass")
+				os.Exit(2)
+			}
+			if err := sweepTrace(*input, *sweep, *quiet); err != nil {
+				fmt.Fprintf(os.Stderr, "tsesim: %v\n", err)
+				os.Exit(1)
+			}
+			return
 		}
 		if err := replayTrace(*input, *compare, *inmem, *multipass, *quiet); err != nil {
 			fmt.Fprintf(os.Stderr, "tsesim: %v\n", err)
@@ -140,6 +157,33 @@ func main() {
 			fmt.Printf("(%s completed in %v)\n\n", exp.ID, time.Since(start).Round(time.Millisecond))
 		}
 	}
+}
+
+// sweepTrace runs one named TSE sensitivity sweep over a trace file: every
+// cell of the sweep is a concurrent consumer of a SINGLE decode pass through
+// the ring fan-out engine, so the whole study costs one codec pass and
+// bounded memory however wide the sweep is. The per-cell reports are
+// bit-identical to evaluating each configuration on its own.
+func sweepTrace(path, sweep string, quiet bool) error {
+	start := time.Now()
+	meta, err := tsm.ReplayMeta(path)
+	if err != nil {
+		return err
+	}
+	if !quiet {
+		fmt.Printf("trace: %s (sweep %s, fused single decode)\n", meta, sweep)
+	}
+	cells, err := tsm.EvaluateTSESweepFile(path, sweep)
+	if err != nil {
+		return err
+	}
+	for _, c := range cells {
+		fmt.Println(c)
+	}
+	if !quiet {
+		fmt.Printf("(%d-cell sweep completed in %v, one decode pass)\n", len(cells), time.Since(start).Round(time.Millisecond))
+	}
+	return nil
 }
 
 // replayTrace evaluates a trace file through the public facade, using the

@@ -8,10 +8,11 @@ import (
 
 // The consumer adapters below let the coverage evaluations ride the
 // single-decode fan-out engine in internal/pipeline: each implements
-// Run(stream.Source) error (pipeline.Consumer, satisfied structurally — this
-// package does not import pipeline) by draining its private tee of the
-// stream and storing the result for the caller to collect once the pipeline
-// run returns.
+// Run(stream.Source) error (pipeline.Consumer, satisfied structurally) by
+// draining its private tee of the stream and storing the result for the
+// caller to collect once the pipeline run returns. The Sweep evaluator
+// (sweep.go) builds directly on TSEConsumer: one consumer per sweep cell,
+// all riding a single pipeline.Run.
 
 // ModelConsumer evaluates one baseline prefetcher over its tee of the
 // stream. After a successful Run, Result holds the coverage summary.

@@ -3,9 +3,30 @@ package experiments
 import (
 	"fmt"
 
-	"tsm/internal/analysis"
 	"tsm/internal/tse"
 )
+
+// The accuracy/sensitivity figures below are sweeps: many TSE configurations
+// evaluated over the SAME workload trace. Each driver builds its figure's
+// config list once and evaluates all cells through sweepCells — one walk of
+// each workload's trace per figure, with the cells as concurrent consumers
+// of a single pass — instead of one full evaluation pass per cell (Figure 7
+// alone used to be 44 independent passes across the eleven-workload matrix).
+
+// SweepBaseLookahead is the fixed stream lookahead the Figure 7 and
+// Figure 9 sweeps evaluate at (the paper's chosen default). The facade's
+// "streams" and "svb" trace-file sweeps share it, so the axes cannot drift.
+const SweepBaseLookahead = 8
+
+// fig7Configs is Figure 7's sweep: one to four compared streams, lookahead
+// eight, no TSE hardware restrictions.
+func fig7Configs(w *Workspace) []tse.Config {
+	cfgs := make([]tse.Config, 0, 4)
+	for streams := 1; streams <= 4; streams++ {
+		cfgs = append(cfgs, unconstrainedTSEConfig(w, streams, SweepBaseLookahead))
+	}
+	return cfgs
+}
 
 // Fig7 reproduces Figure 7: coverage and discards as a function of the
 // number of compared streams (1 to 4), with a lookahead of eight and no TSE
@@ -18,26 +39,44 @@ func Fig7(w *Workspace) (Table, error) {
 		Notes: "Paper: with a single stream commercial workloads discard up to ~240% of consumptions; " +
 			"comparing two streams drops discards drastically with minimal coverage loss.",
 	}
+	cfgs := fig7Configs(w)
 	for _, name := range w.WorkloadNames() {
 		data, err := w.Data(name)
 		if err != nil {
 			return Table{}, err
 		}
-		for streams := 1; streams <= 4; streams++ {
-			cfg := unconstrainedTSEConfig(w, streams, 8)
-			cov, _ := analysis.EvaluateTSE(cfg, data.Trace)
+		cells, err := sweepCells(data, cfgs)
+		if err != nil {
+			return Table{}, err
+		}
+		for i, cov := range cells {
 			t.Rows = append(t.Rows, []string{
-				name, fmt.Sprintf("%d", streams), pct(cov.Coverage()), pct(cov.DiscardRate()),
+				name, fmt.Sprintf("%d", i+1), pct(cov.Coverage()), pct(cov.DiscardRate()),
 			})
 		}
 	}
 	return t, nil
 }
 
+// Fig8Lookaheads returns the stream-lookahead axis Figure 8 sweeps. It is
+// the single definition of that axis: the facade's "lookahead" trace-file
+// sweep builds its cells from this list too.
+func Fig8Lookaheads() []int { return []int{1, 2, 4, 8, 16, 24} }
+
+// fig8Configs is Figure 8's sweep: two compared streams, unconstrained
+// hardware, one cell per lookahead.
+func fig8Configs(w *Workspace) []tse.Config {
+	lookaheads := Fig8Lookaheads()
+	cfgs := make([]tse.Config, 0, len(lookaheads))
+	for _, l := range lookaheads {
+		cfgs = append(cfgs, unconstrainedTSEConfig(w, 2, l))
+	}
+	return cfgs
+}
+
 // Fig8 reproduces Figure 8: discards (normalised to consumptions) as a
 // function of the stream lookahead.
 func Fig8(w *Workspace) (Table, error) {
-	lookaheads := []int{1, 2, 4, 8, 16, 24}
 	t := Table{
 		ID:      "fig8",
 		Title:   "Effect of stream lookahead on discards",
@@ -45,18 +84,21 @@ func Fig8(w *Workspace) (Table, error) {
 		Notes: "Paper: discards grow roughly linearly with lookahead for commercial workloads and stay " +
 			"low for scientific workloads.",
 	}
-	for _, l := range lookaheads {
+	for _, l := range Fig8Lookaheads() {
 		t.Columns = append(t.Columns, fmt.Sprintf("LA=%d", l))
 	}
+	cfgs := fig8Configs(w)
 	for _, name := range w.WorkloadNames() {
 		data, err := w.Data(name)
 		if err != nil {
 			return Table{}, err
 		}
+		cells, err := sweepCells(data, cfgs)
+		if err != nil {
+			return Table{}, err
+		}
 		row := []string{name}
-		for _, l := range lookaheads {
-			cfg := unconstrainedTSEConfig(w, 2, l)
-			cov, _ := analysis.EvaluateTSE(cfg, data.Trace)
+		for _, cov := range cells {
 			row = append(row, pct(cov.DiscardRate()))
 		}
 		t.Rows = append(t.Rows, row)
@@ -64,19 +106,43 @@ func Fig8(w *Workspace) (Table, error) {
 	return t, nil
 }
 
-// Fig9 reproduces Figure 9: coverage and discards as the SVB capacity grows
-// from 512 bytes to unlimited.
-func Fig9(w *Workspace) (Table, error) {
-	type svbPoint struct {
-		label   string
-		entries int
-	}
-	points := []svbPoint{
+// SVBPoint is one cell of Figure 9's SVB-capacity axis.
+type SVBPoint struct {
+	// Label names the capacity ("512B", ..., "inf").
+	Label string
+	// Entries is the SVB capacity in 64-byte blocks (0 means unlimited).
+	Entries int
+}
+
+// Fig9SVBPoints returns the SVB-capacity axis Figure 9 sweeps. It is the
+// single definition of that axis: the facade's "svb" trace-file sweep
+// builds its cells from this list too.
+func Fig9SVBPoints() []SVBPoint {
+	return []SVBPoint{
 		{"512B", 512 / 64},
 		{"2KB", 2048 / 64},
 		{"8KB", 8192 / 64},
 		{"inf", 0},
 	}
+}
+
+// fig9Configs is Figure 9's sweep: the paper configuration with an unlimited
+// CMOB (isolating the SVB effect), one cell per SVB capacity.
+func fig9Configs(w *Workspace) []tse.Config {
+	points := Fig9SVBPoints()
+	cfgs := make([]tse.Config, 0, len(points))
+	for _, p := range points {
+		cfg := paperTSEConfig(w, SweepBaseLookahead)
+		cfg.CMOBEntries = 0 // isolate the SVB effect
+		cfg.SVBEntries = p.Entries
+		cfgs = append(cfgs, cfg)
+	}
+	return cfgs
+}
+
+// Fig9 reproduces Figure 9: coverage and discards as the SVB capacity grows
+// from 512 bytes to unlimited.
+func Fig9(w *Workspace) (Table, error) {
 	t := Table{
 		ID:      "fig9",
 		Title:   "Sensitivity to SVB size",
@@ -84,26 +150,47 @@ func Fig9(w *Workspace) (Table, error) {
 		Notes: "Paper: a 2 KB (32-entry) SVB achieves near-optimal coverage; little is gained beyond " +
 			"512 bytes per active stream of lookahead.",
 	}
+	points := Fig9SVBPoints()
+	cfgs := fig9Configs(w)
 	for _, name := range w.WorkloadNames() {
 		data, err := w.Data(name)
 		if err != nil {
 			return Table{}, err
 		}
-		for _, p := range points {
-			cfg := paperTSEConfig(w, 8)
-			cfg.CMOBEntries = 0 // isolate the SVB effect
-			cfg.SVBEntries = p.entries
-			cov, _ := analysis.EvaluateTSE(cfg, data.Trace)
-			t.Rows = append(t.Rows, []string{name, p.label, pct(cov.Coverage()), pct(cov.DiscardRate())})
+		cells, err := sweepCells(data, cfgs)
+		if err != nil {
+			return Table{}, err
+		}
+		for i, cov := range cells {
+			t.Rows = append(t.Rows, []string{name, points[i].Label, pct(cov.Coverage()), pct(cov.DiscardRate())})
 		}
 	}
 	return t, nil
 }
 
+// fig10Capacities are the per-node CMOB capacities Figure 10 sweeps.
+var fig10Capacities = []int{192, 768, 3 << 10, 12 << 10, 48 << 10, 192 << 10, 768 << 10, 3 << 20}
+
+// fig10Configs is Figure 10's sweep for one workload: the unlimited-CMOB
+// peak first, then one cell per capacity (the lookahead is per-workload, so
+// unlike Figures 7-9 the config list depends on the workload).
+func fig10Configs(w *Workspace, lookahead int) []tse.Config {
+	cfgs := make([]tse.Config, 0, len(fig10Capacities)+1)
+	peak := paperTSEConfig(w, lookahead)
+	peak.CMOBEntries = 0
+	cfgs = append(cfgs, peak)
+	for _, capBytes := range fig10Capacities {
+		cfg := paperTSEConfig(w, lookahead)
+		cfg.CMOBEntries = capBytes / tse.CMOBEntryBytes
+		cfgs = append(cfgs, cfg)
+	}
+	return cfgs
+}
+
 // Fig10 reproduces Figure 10: the fraction of peak coverage attained as the
-// per-node CMOB capacity grows.
+// per-node CMOB capacity grows. Peak and capacity cells ride the same single
+// walk of each workload's trace.
 func Fig10(w *Workspace) (Table, error) {
-	capacities := []int{192, 768, 3 << 10, 12 << 10, 48 << 10, 192 << 10, 768 << 10, 3 << 20}
 	t := Table{
 		ID:      "fig10",
 		Title:   "CMOB storage requirements (% of peak coverage)",
@@ -111,7 +198,7 @@ func Fig10(w *Workspace) (Table, error) {
 		Notes: "Paper: scientific applications need the CMOB to cover their active shared working set; " +
 			"commercial coverage improves smoothly, peaking around 1.5 MB.",
 	}
-	for _, c := range capacities {
+	for _, c := range fig10Capacities {
 		t.Columns = append(t.Columns, fmtBytes(c))
 	}
 	for _, name := range w.WorkloadNames() {
@@ -119,16 +206,13 @@ func Fig10(w *Workspace) (Table, error) {
 		if err != nil {
 			return Table{}, err
 		}
-		lookahead := data.Generator.Timing().Lookahead
-		// Peak coverage: unlimited CMOB.
-		peakCfg := paperTSEConfig(w, lookahead)
-		peakCfg.CMOBEntries = 0
-		peak, _ := analysis.EvaluateTSE(peakCfg, data.Trace)
+		cells, err := sweepCells(data, fig10Configs(w, data.Generator.Timing().Lookahead))
+		if err != nil {
+			return Table{}, err
+		}
+		peak, rest := cells[0], cells[1:]
 		row := []string{name}
-		for _, capBytes := range capacities {
-			cfg := paperTSEConfig(w, lookahead)
-			cfg.CMOBEntries = capBytes / tse.CMOBEntryBytes
-			cov, _ := analysis.EvaluateTSE(cfg, data.Trace)
+		for _, cov := range rest {
 			frac := 0.0
 			if peak.Coverage() > 0 {
 				frac = cov.Coverage() / peak.Coverage()

@@ -1,8 +1,15 @@
-// Package experiments contains one driver per table and figure of the
-// paper's evaluation (Section 5). Each driver reproduces the corresponding
-// result on the synthetic workload suite and returns a printable Table with
-// the same rows/series the paper reports. The cmd/tsesim CLI and the
-// repository's benchmark harness are thin wrappers around this package.
+// Package experiments contains one driver per experiment in the evaluation:
+// the paper's tables and figures (Section 5) plus the extensions grown on
+// top of them — the suite-wide comparison across the full workload matrix,
+// the node-count sensitivity sweep, and the cross-workload mix studies.
+// Each driver reproduces its result on the synthetic workload suite and
+// returns a printable Table with the same rows/series the paper (or the
+// extension's doc comment) reports. Drivers share one concurrent Workspace,
+// so a batch generates every workload's trace exactly once; the sensitivity
+// sweeps additionally share one WALK of each trace, evaluating all their
+// cells as concurrent consumers of a single pass (see sweepCells). The
+// cmd/tsesim CLI and the repository's benchmark harness are thin wrappers
+// around this package.
 package experiments
 
 import (
@@ -11,10 +18,12 @@ import (
 	"strings"
 	"sync"
 
+	"tsm/internal/analysis"
 	"tsm/internal/coherence"
 	"tsm/internal/config"
 	"tsm/internal/stream"
 	"tsm/internal/trace"
+	"tsm/internal/tse"
 	"tsm/internal/workload"
 )
 
@@ -27,7 +36,10 @@ type Options struct {
 	Scale float64
 	// Seed seeds workload generation.
 	Seed int64
-	// Workloads selects a subset by name; empty means all seven.
+	// Workloads selects a subset by name; empty means the full default
+	// suite (the paper's seven applications plus the extended matrix —
+	// workload.Names(), ten workloads). The cross-workload mixes are Extra:
+	// outside the default suite, but selectable here by name.
 	Workloads []string
 }
 
@@ -249,6 +261,25 @@ func RunAll(w *Workspace, exps []Experiment) ([]Table, error) {
 	})
 }
 
+// sweepCells evaluates every cell of a figure's TSE configuration sweep over
+// ONE walk of the workload's trace: the cells become concurrent consumers of
+// a single pass through the fan-out engine (analysis.Sweep, ring broadcast),
+// instead of one full EvaluateTSE pass per cell. The per-cell results are
+// bit-identical to the per-cell passes — EvaluateTSEStream is pinned equal
+// to EvaluateTSE — which is what keeps every sweep figure's golden
+// byte-identical to the pre-sweep drivers.
+func sweepCells(data *WorkloadData, cfgs []tse.Config) ([]analysis.CoverageResult, error) {
+	results, err := analysis.Sweep(cfgs, stream.TraceSource(data.Trace))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: sweeping %s: %w", data.Spec.Name, err)
+	}
+	out := make([]analysis.CoverageResult, len(results))
+	for i, r := range results {
+		out[i] = r.Coverage
+	}
+	return out, nil
+}
+
 // Runner is the signature of an experiment driver.
 type Runner func(w *Workspace) (Table, error)
 
@@ -277,6 +308,7 @@ func All() []Experiment {
 		{ID: "suite", Title: "Suite-wide TSE comparison (full workload matrix)", Run: Suite},
 		{ID: "sensitivity", Title: "TSE coverage sensitivity to node count (4/16/32/64)", Run: Sensitivity},
 		{ID: "mix", Title: "Cross-workload mix vs its colocated parts (memkv + cdn)", Run: MixExperiment},
+		{ID: "mix-sci-com", Title: "Scientific + commercial mix vs its colocated parts (em3d + db2)", Run: MixSciComExperiment},
 	}
 }
 

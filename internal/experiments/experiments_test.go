@@ -29,8 +29,8 @@ func parsePct(t *testing.T, s string) float64 {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 15 {
-		t.Fatalf("registry has %d experiments, want 15", len(all))
+	if len(all) != 16 {
+		t.Fatalf("registry has %d experiments, want 16", len(all))
 	}
 	for _, e := range all {
 		if e.ID == "" || e.Title == "" || e.Run == nil {
@@ -46,7 +46,7 @@ func TestRegistry(t *testing.T) {
 	if _, ok := ByID("fig99"); ok {
 		t.Fatal("ByID of unknown experiment should fail")
 	}
-	if len(IDs()) != 15 {
+	if len(IDs()) != 16 {
 		t.Fatal("IDs should list every experiment")
 	}
 }

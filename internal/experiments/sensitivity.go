@@ -3,8 +3,8 @@ package experiments
 import (
 	"fmt"
 
-	"tsm/internal/analysis"
 	"tsm/internal/stream"
+	"tsm/internal/tse"
 )
 
 // sensitivityNodeCounts are the machine sizes the sensitivity sweep spans.
@@ -57,8 +57,16 @@ func Sensitivity(w *Workspace) (Table, error) {
 			if err != nil {
 				return column{}, err
 			}
+			// Each (node count, workload) cell has its own trace — node
+			// count changes generation — so the sweep here is width-one:
+			// the same single-pass evaluator as Figures 7-10, one walk of
+			// this cell's trace.
 			cfg := paperTSEConfig(sub, data.Generator.Timing().Lookahead)
-			cov, _ := analysis.EvaluateTSE(cfg, data.Trace)
+			cells, err := sweepCells(data, []tse.Config{cfg})
+			if err != nil {
+				return column{}, err
+			}
+			cov := cells[0]
 			col.coverage = append(col.coverage, pct(cov.Coverage()))
 			col.discards = append(col.discards, pct(cov.DiscardRate()))
 		}

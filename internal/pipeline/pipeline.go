@@ -25,6 +25,16 @@
 // Consumers only need to implement Run(stream.Source) error, so any existing
 // pull-based evaluation loop (tse.System.RunSource, timing.SimulateSource,
 // analysis.EvaluateModelStream) adapts without modification.
+//
+// Two broadcast strategies implement those semantics. The default Ring
+// strategy (ring.go) publishes each chunk once into a shared ring of
+// reusable buffers and gives every consumer its own read cursor, so the
+// per-chunk cost — and the allocation footprint — is independent of the
+// consumer count; it is what lets a whole sensitivity sweep (dozens of TSE
+// configurations) ride one decode pass. The Channels strategy is the
+// original per-consumer bounded-channel fan-out, retained as the
+// differential-testing reference. Config.Strategy selects; the observable
+// behaviour is identical by construction and pinned by parity tests.
 package pipeline
 
 import (
@@ -63,19 +73,41 @@ func (f ConsumerFunc) Run(src stream.Source) error { return f(src) }
 // DefaultChunkEvents is the number of events batched per broadcast chunk.
 const DefaultChunkEvents = 1024
 
-// DefaultChunkBuffer is the number of chunks buffered per consumer channel;
-// together with the chunk size it bounds how far the decoder may run ahead
-// of the slowest consumer.
+// DefaultChunkBuffer is the broadcast window in chunks — the ring capacity
+// of the Ring strategy, or the per-consumer channel capacity of the Channels
+// strategy; together with the chunk size it bounds how far the decoder may
+// run ahead of the slowest consumer.
 const DefaultChunkBuffer = 4
+
+// Strategy selects how one decoded chunk reaches N consumers.
+type Strategy int
+
+const (
+	// Ring, the default, broadcasts through one shared ring of reusable
+	// chunk buffers with a read cursor per consumer: publishing a chunk is
+	// one slot write and one wakeup regardless of the consumer count, the
+	// producer throttles on the slowest cursor, and slot backing arrays are
+	// recycled once every cursor has passed them (O(ring) chunk allocation
+	// in total, however long the trace). See ring.go.
+	Ring Strategy = iota
+	// Channels is the original fan-out — one bounded channel per consumer,
+	// one send per consumer per chunk, a fresh chunk buffer per broadcast.
+	// It is retained as the differential-testing reference for the ring
+	// (the same role -multipass plays for the fused replay path).
+	Channels
+)
 
 // Config tunes the engine. The zero value selects the defaults.
 type Config struct {
 	// ChunkEvents is the number of events batched per chunk (default
 	// DefaultChunkEvents).
 	ChunkEvents int
-	// ChunkBuffer is the per-consumer channel capacity in chunks (default
+	// ChunkBuffer is the broadcast window in chunks — ring capacity for
+	// Ring, per-consumer channel capacity for Channels (default
 	// DefaultChunkBuffer).
 	ChunkBuffer int
+	// Strategy selects the broadcast mechanism (default Ring).
+	Strategy Strategy
 }
 
 func (c Config) normalize() Config {
@@ -136,10 +168,11 @@ func (s *chanSource) Next() (trace.Event, error) {
 }
 
 // Run decodes src exactly once and broadcasts the events to every consumer
-// over bounded channels, blocking until the producer and all consumers have
-// finished (no goroutine outlives the call). With zero consumers it returns
-// nil without reading src; with one consumer it runs the consumer directly
-// on the caller's goroutine (no channels needed — a plain single pass).
+// through the configured strategy, blocking until the producer and all
+// consumers have finished (no goroutine outlives the call). With zero
+// consumers it returns nil without reading src; with one consumer it runs
+// the consumer directly on the caller's goroutine (no broadcast needed — a
+// plain single pass).
 //
 // On success every consumer has drained the full stream in decode order. On
 // failure Run returns the first error in consumer order — a consumer's own
@@ -152,7 +185,15 @@ func (c Config) Run(src stream.Source, consumers ...Consumer) error {
 		return consumers[0].Run(src)
 	}
 	c = c.normalize()
+	if c.Strategy == Ring {
+		return c.runRing(src, consumers)
+	}
+	return c.runChannels(src, consumers)
+}
 
+// runChannels is Config.Run's channel strategy: per-consumer bounded
+// channels, one send per consumer per chunk.
+func (c Config) runChannels(src stream.Source, consumers []Consumer) error {
 	chans := make([]chan item, len(consumers))
 	for i := range chans {
 		chans[i] = make(chan item, c.ChunkBuffer)

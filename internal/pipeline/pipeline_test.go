@@ -33,6 +33,13 @@ func makeEvents(n int) []trace.Event {
 	return events
 }
 
+// strategies enumerates both broadcast strategies, so every engine test pins
+// the ring and the channels fan-out to the same observable behaviour.
+var strategies = []struct {
+	name string
+	s    Strategy
+}{{"ring", Ring}, {"channels", Channels}}
+
 // recordConsumer keeps every event it sees (events arrive by value, so
 // retaining them is fine) and remembers its terminal error.
 type recordConsumer struct {
@@ -59,27 +66,31 @@ func (c *recordConsumer) Run(src stream.Source) error {
 // exceed it.
 func TestBroadcastParity(t *testing.T) {
 	events := makeEvents(1000)
-	for _, chunk := range []int{1, 3, 256, 4096} {
-		consumers := make([]Consumer, 5)
-		records := make([]*recordConsumer, len(consumers))
-		for i := range consumers {
-			records[i] = &recordConsumer{}
-			consumers[i] = records[i]
-		}
-		cfg := Config{ChunkEvents: chunk, ChunkBuffer: 2}
-		if err := cfg.Run(stream.NewSliceSource(events), consumers...); err != nil {
-			t.Fatalf("chunk %d: %v", chunk, err)
-		}
-		for ci, rec := range records {
-			if len(rec.events) != len(events) {
-				t.Fatalf("chunk %d consumer %d: saw %d events, want %d", chunk, ci, len(rec.events), len(events))
-			}
-			for i := range events {
-				if rec.events[i] != events[i] {
-					t.Fatalf("chunk %d consumer %d: event %d = %+v, want %+v", chunk, ci, i, rec.events[i], events[i])
+	for _, st := range strategies {
+		t.Run(st.name, func(t *testing.T) {
+			for _, chunk := range []int{1, 3, 256, 4096} {
+				consumers := make([]Consumer, 5)
+				records := make([]*recordConsumer, len(consumers))
+				for i := range consumers {
+					records[i] = &recordConsumer{}
+					consumers[i] = records[i]
+				}
+				cfg := Config{ChunkEvents: chunk, ChunkBuffer: 2, Strategy: st.s}
+				if err := cfg.Run(stream.NewSliceSource(events), consumers...); err != nil {
+					t.Fatalf("chunk %d: %v", chunk, err)
+				}
+				for ci, rec := range records {
+					if len(rec.events) != len(events) {
+						t.Fatalf("chunk %d consumer %d: saw %d events, want %d", chunk, ci, len(rec.events), len(events))
+					}
+					for i := range events {
+						if rec.events[i] != events[i] {
+							t.Fatalf("chunk %d consumer %d: event %d = %+v, want %+v", chunk, ci, i, rec.events[i], events[i])
+						}
+					}
 				}
 			}
-		}
+		})
 	}
 }
 
@@ -168,59 +179,67 @@ func (c *failAfter) Run(src stream.Source) error {
 // consumer's error, with the bystanders seeing ErrCanceled and no goroutine
 // outliving the call.
 func TestConsumerErrorCancels(t *testing.T) {
-	before := runtime.NumGoroutine()
-	boom := errors.New("boom")
-	bystanders := []*recordConsumer{{}, {}}
-	done := make(chan error, 1)
-	go func() {
-		done <- Config{ChunkEvents: 8, ChunkBuffer: 2}.Run(
-			&endlessSource{},
-			bystanders[0],
-			&failAfter{n: 100, err: boom},
-			bystanders[1],
-		)
-	}()
-	select {
-	case err := <-done:
-		if !errors.Is(err, boom) {
-			t.Fatalf("Run = %v, want %v", err, boom)
-		}
-	case <-time.After(10 * time.Second):
-		t.Fatal("consumer error did not cancel the pipeline (endless source still running)")
+	for _, st := range strategies {
+		t.Run(st.name, func(t *testing.T) {
+			before := runtime.NumGoroutine()
+			boom := errors.New("boom")
+			bystanders := []*recordConsumer{{}, {}}
+			done := make(chan error, 1)
+			go func() {
+				done <- Config{ChunkEvents: 8, ChunkBuffer: 2, Strategy: st.s}.Run(
+					&endlessSource{},
+					bystanders[0],
+					&failAfter{n: 100, err: boom},
+					bystanders[1],
+				)
+			}()
+			select {
+			case err := <-done:
+				if !errors.Is(err, boom) {
+					t.Fatalf("Run = %v, want %v", err, boom)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatal("consumer error did not cancel the pipeline (endless source still running)")
+			}
+			for i, b := range bystanders {
+				if !errors.Is(b.terminal, ErrCanceled) {
+					t.Errorf("bystander %d terminal = %v, want ErrCanceled", i, b.terminal)
+				}
+			}
+			// All goroutines are joined before Run returns; allow a brief
+			// settle for the runtime's own bookkeeping only.
+			for i := 0; i < 50; i++ {
+				if runtime.NumGoroutine() <= before {
+					return
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+			t.Errorf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		})
 	}
-	for i, b := range bystanders {
-		if !errors.Is(b.terminal, ErrCanceled) {
-			t.Errorf("bystander %d terminal = %v, want ErrCanceled", i, b.terminal)
-		}
-	}
-	// All goroutines are joined before Run returns; allow a brief settle for
-	// the runtime's own bookkeeping only.
-	for i := 0; i < 50; i++ {
-		if runtime.NumGoroutine() <= before {
-			return
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-	t.Errorf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
 }
 
 // TestDecodeErrorPropagates: a terminal source error must reach every
 // consumer as its own terminal error, and Run must return it.
 func TestDecodeErrorPropagates(t *testing.T) {
-	corrupt := fmt.Errorf("decode: %w", stream.ErrCorrupt)
-	src := &erroringSource{events: makeEvents(100), err: corrupt}
-	records := []*recordConsumer{{}, {}, {}}
-	err := Config{ChunkEvents: 16}.Run(src, records[0], records[1], records[2])
-	if !errors.Is(err, stream.ErrCorrupt) {
-		t.Fatalf("Run = %v, want the decode error", err)
-	}
-	for i, rec := range records {
-		if !errors.Is(rec.terminal, stream.ErrCorrupt) {
-			t.Errorf("consumer %d terminal = %v, want the decode error", i, rec.terminal)
-		}
-		if len(rec.events) != 100 {
-			t.Errorf("consumer %d saw %d events before the error, want 100", i, len(rec.events))
-		}
+	for _, st := range strategies {
+		t.Run(st.name, func(t *testing.T) {
+			corrupt := fmt.Errorf("decode: %w", stream.ErrCorrupt)
+			src := &erroringSource{events: makeEvents(100), err: corrupt}
+			records := []*recordConsumer{{}, {}, {}}
+			err := Config{ChunkEvents: 16, Strategy: st.s}.Run(src, records[0], records[1], records[2])
+			if !errors.Is(err, stream.ErrCorrupt) {
+				t.Fatalf("Run = %v, want the decode error", err)
+			}
+			for i, rec := range records {
+				if !errors.Is(rec.terminal, stream.ErrCorrupt) {
+					t.Errorf("consumer %d terminal = %v, want the decode error", i, rec.terminal)
+				}
+				if len(rec.events) != 100 {
+					t.Errorf("consumer %d saw %d events before the error, want 100", i, len(rec.events))
+				}
+			}
+		})
 	}
 }
 
@@ -256,22 +275,26 @@ func (c *earlyStop) Run(src stream.Source) error {
 // TestEarlyReturnDoesNotWedge: a consumer that stops pulling before EOF must
 // not block the producer or the other consumers.
 func TestEarlyReturnDoesNotWedge(t *testing.T) {
-	events := makeEvents(5000)
-	rec := &recordConsumer{}
-	done := make(chan error, 1)
-	go func() {
-		done <- Config{ChunkEvents: 8, ChunkBuffer: 1}.Run(stream.NewSliceSource(events), &earlyStop{n: 3}, rec)
-	}()
-	select {
-	case err := <-done:
-		if err != nil {
-			t.Fatal(err)
-		}
-	case <-time.After(10 * time.Second):
-		t.Fatal("early-returning consumer wedged the pipeline")
-	}
-	if len(rec.events) != len(events) {
-		t.Fatalf("full consumer saw %d events, want %d", len(rec.events), len(events))
+	for _, st := range strategies {
+		t.Run(st.name, func(t *testing.T) {
+			events := makeEvents(5000)
+			rec := &recordConsumer{}
+			done := make(chan error, 1)
+			go func() {
+				done <- Config{ChunkEvents: 8, ChunkBuffer: 1, Strategy: st.s}.Run(stream.NewSliceSource(events), &earlyStop{n: 3}, rec)
+			}()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatal(err)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatal("early-returning consumer wedged the pipeline")
+			}
+			if len(rec.events) != len(events) {
+				t.Fatalf("full consumer saw %d events, want %d", len(rec.events), len(events))
+			}
+		})
 	}
 }
 
@@ -279,63 +302,73 @@ func TestEarlyReturnDoesNotWedge(t *testing.T) {
 // cleanly, before io.EOF — the producer must stop decoding, even over an
 // endless source; Run returns nil (no consumer failed).
 func TestAllEarlyReturnsStopProducer(t *testing.T) {
-	src := &countingSource{src: &endlessSource{}}
-	done := make(chan error, 1)
-	go func() {
-		done <- Config{ChunkEvents: 8, ChunkBuffer: 2}.Run(src, &earlyStop{n: 3}, &earlyStop{n: 40})
-	}()
-	select {
-	case err := <-done:
-		if err != nil {
-			t.Fatal(err)
-		}
-	case <-time.After(10 * time.Second):
-		t.Fatal("producer kept decoding an endless source after every consumer returned")
+	for _, st := range strategies {
+		t.Run(st.name, func(t *testing.T) {
+			src := &countingSource{src: &endlessSource{}}
+			done := make(chan error, 1)
+			go func() {
+				done <- Config{ChunkEvents: 8, ChunkBuffer: 2, Strategy: st.s}.Run(src, &earlyStop{n: 3}, &earlyStop{n: 40})
+			}()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatal(err)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatal("producer kept decoding an endless source after every consumer returned")
+			}
+		})
 	}
 }
 
 // TestBackpressure: the producer must not run unboundedly ahead of a stalled
-// consumer — the bounded channels cap the decoded-but-unconsumed window.
+// consumer — the broadcast window (ring capacity / channel bounds) caps the
+// decoded-but-unconsumed events under BOTH strategies; for the ring this is
+// the slowest-cursor backpressure rule.
 func TestBackpressure(t *testing.T) {
-	cfg := Config{ChunkEvents: 10, ChunkBuffer: 2}
-	events := makeEvents(100_000)
-	src := &countingSource{src: stream.NewSliceSource(events)}
-	release := make(chan struct{})
-	var stalledSeen int
-	stalled := ConsumerFunc(func(s stream.Source) error {
-		if _, err := s.Next(); err != nil {
-			return err
-		}
-		stalledSeen++
-		<-release // stall with one event consumed
-		for {
-			if _, err := s.Next(); err == io.EOF {
-				return nil
-			} else if err != nil {
-				return err
-			}
-			stalledSeen++
-		}
-	})
-	fast := &recordConsumer{}
-	done := make(chan error, 1)
-	go func() { done <- cfg.Run(src, stalled, fast) }()
+	for _, st := range strategies {
+		t.Run(st.name, func(t *testing.T) {
+			cfg := Config{ChunkEvents: 10, ChunkBuffer: 2, Strategy: st.s}
+			events := makeEvents(100_000)
+			src := &countingSource{src: stream.NewSliceSource(events)}
+			release := make(chan struct{})
+			var stalledSeen int
+			stalled := ConsumerFunc(func(s stream.Source) error {
+				if _, err := s.Next(); err != nil {
+					return err
+				}
+				stalledSeen++
+				<-release // stall with one event consumed
+				for {
+					if _, err := s.Next(); err == io.EOF {
+						return nil
+					} else if err != nil {
+						return err
+					}
+					stalledSeen++
+				}
+			})
+			fast := &recordConsumer{}
+			done := make(chan error, 1)
+			go func() { done <- cfg.Run(src, stalled, fast) }()
 
-	// Give the producer every chance to run ahead, then check the window:
-	// at most ChunkBuffer queued chunks, one in flight per consumer, and one
-	// being assembled (doubled for slack — the point is "hundreds, not the
-	// whole 100k trace").
-	time.Sleep(200 * time.Millisecond)
-	decoded := int(src.nexts.Load())
-	bound := (cfg.ChunkBuffer + 2) * cfg.ChunkEvents * 2
-	if decoded > bound {
-		t.Errorf("producer decoded %d events ahead of a stalled consumer (bound %d)", decoded, bound)
-	}
-	close(release)
-	if err := <-done; err != nil {
-		t.Fatal(err)
-	}
-	if stalledSeen != len(events) || len(fast.events) != len(events) {
-		t.Fatalf("stalled saw %d, fast saw %d, want %d", stalledSeen, len(fast.events), len(events))
+			// Give the producer every chance to run ahead, then check the
+			// window: at most ChunkBuffer queued chunks, one in flight per
+			// consumer, and one being assembled (doubled for slack — the
+			// point is "hundreds, not the whole 100k trace").
+			time.Sleep(200 * time.Millisecond)
+			decoded := int(src.nexts.Load())
+			bound := (cfg.ChunkBuffer + 2) * cfg.ChunkEvents * 2
+			if decoded > bound {
+				t.Errorf("producer decoded %d events ahead of a stalled consumer (bound %d)", decoded, bound)
+			}
+			close(release)
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+			if stalledSeen != len(events) || len(fast.events) != len(events) {
+				t.Fatalf("stalled saw %d, fast saw %d, want %d", stalledSeen, len(fast.events), len(events))
+			}
+		})
 	}
 }

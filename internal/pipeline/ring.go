@@ -1,0 +1,282 @@
+package pipeline
+
+// The ring broadcast strategy: one shared ring of chunk buffers with a
+// per-consumer read cursor, instead of one bounded channel per consumer.
+//
+// The channel strategy costs one channel send per consumer per chunk and a
+// fresh chunk allocation per broadcast, which is fine for the handful of
+// consumers file replay needs but does not hold up when an entire sensitivity
+// sweep — dozens of TSE configurations — rides one decode pass. The ring
+// publishes each chunk exactly once (a slot index increment plus one
+// broadcast wakeup, however many consumers are attached) and reuses the ring
+// slots' backing arrays once every cursor has moved past them, so a sweep
+// allocates O(ring) chunk memory in total instead of O(chunks): the decode
+// pass over an arbitrarily long trace stops being an allocation source at
+// all. This is the inter-query sharing idea of Shared Arrangements applied to
+// trace replay: maintain one stream, attach N cheap readers.
+//
+// Semantics are identical to the channel strategy, and the differential
+// tests pin that:
+//
+//   - every consumer observes the events in exact decode order;
+//   - the producer never runs more than the ring capacity ahead of the
+//     SLOWEST live cursor (slowest-cursor backpressure, bounded memory);
+//   - terminal conditions are in band: a consumer drains every chunk
+//     published before it observes io.EOF, the producer's decode error, or
+//     ErrCanceled after another consumer failed;
+//   - the first consumer failure cancels the producer and every other
+//     consumer promptly, and no goroutine outlives Run.
+
+import (
+	"errors"
+	"io"
+	"sync"
+
+	"tsm/internal/stream"
+	"tsm/internal/trace"
+)
+
+// ringState is the shared state of one ring-strategy Run: the slot buffers,
+// the producer's publish count and the per-consumer cursors, all guarded by
+// one mutex with two condition variables (producer waits for a free slot,
+// consumers wait for a new chunk or the terminal).
+type ringState struct {
+	mu       sync.Mutex
+	notFull  *sync.Cond // producer: a slot was released or the run stopped
+	notEmpty *sync.Cond // consumers: a chunk was published or the run closed
+
+	slots [][]trace.Event // ring of reusable chunk buffers
+	head  uint64          // chunks published so far
+
+	taken    []uint64 // per consumer: chunks handed to its source
+	released []uint64 // per consumer: chunks it has finished reading
+	done     []bool   // consumer returned; stops constraining backpressure
+	ndone    int
+
+	closed   bool  // no more chunks will be published
+	terminal error // ending observed after draining (nil means io.EOF)
+	stopped  bool  // cancellation: the producer must stop decoding
+}
+
+func newRingState(capacity, consumers int) *ringState {
+	r := &ringState{
+		slots:    make([][]trace.Event, capacity),
+		taken:    make([]uint64, consumers),
+		released: make([]uint64, consumers),
+		done:     make([]bool, consumers),
+	}
+	r.notFull = sync.NewCond(&r.mu)
+	r.notEmpty = sync.NewCond(&r.mu)
+	return r
+}
+
+// minReleased returns the slowest live cursor — the number of chunks every
+// still-running consumer has finished with. Finished consumers are excluded,
+// so one early return never wedges the producer. Must hold mu.
+func (r *ringState) minReleased() uint64 {
+	min := r.head
+	for i, rel := range r.released {
+		if !r.done[i] && rel < min {
+			min = rel
+		}
+	}
+	return min
+}
+
+// buffer blocks until the next ring slot is reusable — every live consumer
+// has released it — and returns its backing array, emptied, for the producer
+// to fill outside the lock. It reports false once decoding is pointless
+// (cancellation, or every consumer has returned).
+func (r *ringState) buffer(chunkEvents int) ([]trace.Event, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if r.stopped || r.ndone == len(r.done) {
+			return nil, false
+		}
+		if r.head-r.minReleased() < uint64(len(r.slots)) {
+			break
+		}
+		r.notFull.Wait()
+	}
+	slot := &r.slots[r.head%uint64(len(r.slots))]
+	if cap(*slot) < chunkEvents {
+		*slot = make([]trace.Event, 0, chunkEvents)
+	}
+	return (*slot)[:0], true
+}
+
+// publish makes the filled chunk visible to every consumer with a single
+// head increment (one copy, one wakeup — no per-consumer send). It reports
+// false if the run was canceled while the producer was filling the chunk.
+func (r *ringState) publish(events []trace.Event) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stopped || r.ndone == len(r.done) {
+		return false
+	}
+	r.slots[r.head%uint64(len(r.slots))] = events
+	r.head++
+	r.notEmpty.Broadcast()
+	return true
+}
+
+// close records the stream's ending. Consumers observe it strictly in band:
+// only after draining every published chunk. A nil err is a clean io.EOF.
+func (r *ringState) close(err error) {
+	r.mu.Lock()
+	r.closed = true
+	r.terminal = err
+	r.notEmpty.Broadcast()
+	r.mu.Unlock()
+}
+
+// cancel stops the producer at its next slot acquisition or publish. Safe to
+// call from any goroutine, any number of times.
+func (r *ringState) cancel() {
+	r.mu.Lock()
+	if !r.stopped {
+		r.stopped = true
+		r.notFull.Broadcast()
+	}
+	r.mu.Unlock()
+}
+
+// finish marks one consumer as returned, releasing its backpressure
+// constraint; once every consumer has returned, further decoding serves
+// nobody and the producer is canceled.
+func (r *ringState) finish(id int) {
+	r.mu.Lock()
+	if !r.done[id] {
+		r.done[id] = true
+		r.ndone++
+		r.notFull.Signal()
+	}
+	all := r.ndone == len(r.done)
+	r.mu.Unlock()
+	if all {
+		r.cancel()
+	}
+}
+
+// take returns the consumer's next chunk, releasing the previous one (the
+// consumer has exhausted it — that release is what lets the producer reuse
+// the slot's backing array). A false ok is the in-band ending: err is the
+// terminal error, or nil for a clean end of stream.
+func (r *ringState) take(id int) (events []trace.Event, err error, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.taken[id] > r.released[id] {
+		r.released[id] = r.taken[id]
+		r.notFull.Signal()
+	}
+	for r.taken[id] == r.head && !r.closed {
+		r.notEmpty.Wait()
+	}
+	if r.taken[id] < r.head {
+		ev := r.slots[r.taken[id]%uint64(len(r.slots))]
+		r.taken[id]++
+		return ev, nil, true
+	}
+	return nil, r.terminal, false
+}
+
+// ringSource adapts one consumer's ring cursor to the stream.Source its
+// evaluation loop pulls. Like chanSource, terminal conditions are strictly
+// in band: every event published to the ring is observed before any ending.
+type ringSource struct {
+	r   *ringState
+	id  int
+	cur []trace.Event
+	pos int
+	err error
+}
+
+// Next implements stream.Source.
+func (s *ringSource) Next() (trace.Event, error) {
+	if s.err != nil {
+		return trace.Event{}, s.err
+	}
+	for s.pos >= len(s.cur) {
+		events, err, ok := s.r.take(s.id)
+		if !ok {
+			if err == nil {
+				err = io.EOF
+			}
+			s.err = err
+			// Drop the slot reference; the slot itself was released by take.
+			s.cur, s.pos = nil, 0
+			return trace.Event{}, err
+		}
+		s.cur, s.pos = events, 0
+	}
+	e := s.cur[s.pos]
+	s.pos++
+	return e, nil
+}
+
+// runRing is Config.Run's ring strategy (two or more consumers; the 0/1
+// fast paths are shared with the channel strategy).
+func (c Config) runRing(src stream.Source, consumers []Consumer) error {
+	r := newRingState(c.ChunkBuffer, len(consumers))
+	var wg sync.WaitGroup
+
+	// Producer: the single decode pass, filling reusable ring slots.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			chunk, ok := r.buffer(c.ChunkEvents)
+			if !ok {
+				r.close(ErrCanceled)
+				return
+			}
+			var terminal error
+			for len(chunk) < c.ChunkEvents {
+				e, err := src.Next()
+				if err != nil {
+					terminal = err
+					break
+				}
+				chunk = append(chunk, e)
+			}
+			if len(chunk) > 0 && !r.publish(chunk) {
+				r.close(ErrCanceled)
+				return
+			}
+			if terminal == io.EOF {
+				r.close(nil) // a clean end: consumers drain, then see io.EOF
+				return
+			}
+			if terminal != nil {
+				r.close(terminal)
+				return
+			}
+		}
+	}()
+
+	// Consumers: one goroutine each over a private cursor. No draining is
+	// needed on early return — finish simply removes the cursor from the
+	// backpressure constraint.
+	errs := make([]error, len(consumers))
+	for i, consumer := range consumers {
+		wg.Add(1)
+		go func(i int, consumer Consumer) {
+			defer wg.Done()
+			err := consumer.Run(&ringSource{r: r, id: i})
+			errs[i] = err
+			if err != nil && !errors.Is(err, ErrCanceled) {
+				r.cancel()
+			}
+			r.finish(i)
+		}(i, consumer)
+	}
+
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, ErrCanceled) {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package pipeline
+
+import (
+	"io"
+	"testing"
+
+	"tsm/internal/stream"
+)
+
+// drainCount counts the events it sees without retaining them — the cheapest
+// possible consumer, used to isolate the broadcast machinery itself.
+type drainCount struct{ n int }
+
+func (c *drainCount) Run(src stream.Source) error {
+	for {
+		if _, err := src.Next(); err == io.EOF {
+			return nil
+		} else if err != nil {
+			return err
+		}
+		c.n++
+	}
+}
+
+// TestManyConsumersParity runs a sweep-width fan-out — 64 consumers, the
+// widest cell count the experiments use — under both strategies: every
+// consumer must see the complete stream, and one full recorder validates
+// content, not just counts.
+func TestManyConsumersParity(t *testing.T) {
+	events := makeEvents(10_000)
+	for _, st := range strategies {
+		t.Run(st.name, func(t *testing.T) {
+			consumers := make([]Consumer, 64)
+			counts := make([]*drainCount, len(consumers))
+			for i := range consumers {
+				counts[i] = &drainCount{}
+				consumers[i] = counts[i]
+			}
+			rec := &recordConsumer{}
+			consumers = append(consumers, rec)
+			cfg := Config{ChunkEvents: 128, ChunkBuffer: 3, Strategy: st.s}
+			if err := cfg.Run(stream.NewSliceSource(events), consumers...); err != nil {
+				t.Fatal(err)
+			}
+			for i, c := range counts {
+				if c.n != len(events) {
+					t.Fatalf("consumer %d saw %d events, want %d", i, c.n, len(events))
+				}
+			}
+			if len(rec.events) != len(events) {
+				t.Fatalf("recording consumer saw %d events, want %d", len(rec.events), len(events))
+			}
+			for i := range events {
+				if rec.events[i] != events[i] {
+					t.Fatalf("event %d = %+v, want %+v", i, rec.events[i], events[i])
+				}
+			}
+		})
+	}
+}
+
+// TestRingSlotReuse pins the ring's O(ring) allocation property at the state
+// level: after a run that publishes far more chunks than the ring has slots,
+// the ring must still hold exactly ChunkBuffer slot buffers, each at its
+// original chunk capacity — recycled lap after lap, never one fresh buffer
+// per published chunk (the channel strategy's cost).
+func TestRingSlotReuse(t *testing.T) {
+	const chunkEvents, ringChunks = 32, 3
+	events := makeEvents(chunkEvents * 100) // 100 chunks through a 3-slot ring
+
+	// Drive the ring state machine directly (the same calls runRing makes)
+	// so the final ringState stays observable after the run.
+	r := newRingState(ringChunks, 2)
+	done := make(chan error, 2)
+	for id := 0; id < 2; id++ {
+		go func(id int) {
+			c := &drainCount{}
+			err := c.Run(&ringSource{r: r, id: id})
+			r.finish(id)
+			done <- err
+		}(id)
+	}
+	src := stream.NewSliceSource(events)
+	for {
+		chunk, ok := r.buffer(chunkEvents)
+		if !ok {
+			r.close(ErrCanceled)
+			break
+		}
+		var terminal error
+		for len(chunk) < chunkEvents {
+			e, err := src.Next()
+			if err != nil {
+				terminal = err
+				break
+			}
+			chunk = append(chunk, e)
+		}
+		if len(chunk) > 0 && !r.publish(chunk) {
+			r.close(ErrCanceled)
+			break
+		}
+		if terminal != nil {
+			r.close(nil) // the slice source only ends with io.EOF
+			break
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if got, want := int(r.head), len(events)/chunkEvents; got != want {
+		t.Fatalf("published %d chunks, want %d", got, want)
+	}
+	if len(r.slots) != ringChunks {
+		t.Fatalf("ring grew to %d slots, want %d (slots must be reused, not appended)", len(r.slots), ringChunks)
+	}
+	for i, s := range r.slots {
+		if cap(s) != chunkEvents {
+			t.Fatalf("slot %d has cap %d, want %d (buffers are allocated once and recycled)", i, cap(s), chunkEvents)
+		}
+	}
+}

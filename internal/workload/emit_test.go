@@ -206,6 +206,57 @@ func TestMixColocatesParts(t *testing.T) {
 	}
 }
 
+// TestMixSciComColocatesParts: the scientific+commercial mix must interleave
+// em3d's graph traffic with db2's OLTP traffic on the same nodes, preserving
+// each part's own stream order — the cross-class colocation the second
+// registered mix models.
+func TestMixSciComColocatesParts(t *testing.T) {
+	cfg := testConfig()
+	m := NewMixSciCom(cfg)
+	if m.Name() != "mix-sci-com" || m.Class() != Commercial {
+		t.Fatalf("mix-sci-com identity wrong: %q/%v", m.Name(), m.Class())
+	}
+	if err := m.Timing().Validate(); err != nil {
+		t.Fatalf("mix-sci-com timing profile invalid: %v", err)
+	}
+	accesses := m.Generate()
+	if len(accesses) == 0 {
+		t.Fatal("mix-sci-com generated nothing")
+	}
+	em3d := NewEM3D(cfg).Generate()
+	db2 := NewOLTP(cfg, "DB2").Generate()
+	if len(accesses) != len(em3d)+len(db2) {
+		t.Fatalf("mix-sci-com emitted %d accesses, want %d (em3d) + %d (db2)", len(accesses), len(em3d), len(db2))
+	}
+	// Per-part subsequences must be preserved: filtering the mix by region
+	// family must reproduce each part's own stream.
+	const regionShift = 32
+	var gotEM3D, gotDB2 []mem.Access
+	for _, a := range accesses {
+		switch r := int(uint64(a.Addr) >> regionShift); r {
+		case regionEM3DValues:
+			gotEM3D = append(gotEM3D, a)
+		case regionOLTPMeta, regionOLTPRecords, regionOLTPHeap, regionOLTPLocks:
+			gotDB2 = append(gotDB2, a)
+		default:
+			t.Fatalf("mix-sci-com emitted access in unexpected region %d", r)
+		}
+	}
+	if len(gotEM3D) != len(em3d) || len(gotDB2) != len(db2) {
+		t.Fatalf("mix-sci-com split %d/%d accesses by region, want %d/%d", len(gotEM3D), len(gotDB2), len(em3d), len(db2))
+	}
+	for i := range em3d {
+		if gotEM3D[i] != em3d[i] {
+			t.Fatalf("mix-sci-com reordered the em3d subsequence at %d", i)
+		}
+	}
+	for i := range db2 {
+		if gotDB2[i] != db2[i] {
+			t.Fatalf("mix-sci-com reordered the db2 subsequence at %d", i)
+		}
+	}
+}
+
 // TestMixStopsOnYieldError: the mix's producer goroutines must shut down
 // promptly when the consumer fails (no leak, error returned).
 func TestMixStopsOnYieldError(t *testing.T) {
@@ -231,7 +282,7 @@ func TestRepeatLengthensTrace(t *testing.T) {
 	base := testConfig()
 	double := base
 	double.Repeat = 2
-	for _, name := range []string{"em3d", "db2", "memkv", "cdn", "mix"} {
+	for _, name := range []string{"em3d", "db2", "memkv", "cdn", "mix", "mix-sci-com"} {
 		spec, ok := ByName(name)
 		if !ok {
 			t.Fatalf("unknown workload %q", name)

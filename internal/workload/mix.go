@@ -23,8 +23,14 @@ import (
 // the parts' own state plus the fixed pull buffers — never by trace length —
 // and the output is deterministic because a single consumer drains the
 // buffers in a seed-fixed order.
+//
+// The mixer takes ANY parts; two are registered: "mix" (memkv + cdn, two
+// commercial textures) and "mix-sci-com" (em3d + db2, a scientific texture
+// alternating with a commercial one — the paper's two workload classes
+// colocated on the same machine).
 type Mix struct {
 	cfg   Config
+	name  string
 	parts []Generator
 }
 
@@ -33,23 +39,45 @@ type Mix struct {
 // services timeshare a node between request handlers.
 const mixChunk = 64
 
+// newMix assembles a named mix from already-constructed parts.
+func newMix(cfg Config, name string, parts ...Generator) *Mix {
+	return &Mix{cfg: cfg, name: name, parts: parts}
+}
+
 // NewMix builds the memkv+cdn colocated mix. Both parts run over all nodes
 // at the shared configuration; their address regions are disjoint by
 // construction (regionKV* vs regionCDN*), so the mix stresses scheduling and
 // stream interleaving rather than accidental aliasing.
 func NewMix(cfg Config) *Mix {
 	cfg = cfg.normalize()
-	return &Mix{
-		cfg:   cfg,
-		parts: []Generator{NewKVStore(cfg), NewCDN(cfg)},
-	}
+	return newMix(cfg, "mix", NewKVStore(cfg), NewCDN(cfg))
+}
+
+// NewMixSciCom builds the em3d+db2 colocated mix: a scientific code's long,
+// highly repetitive producer/consumer streams phase-alternating with an OLTP
+// workload's short migratory streams on the same nodes — the cross-CLASS
+// colocation none of the paper's runs exhibits. The parts' address regions
+// are disjoint by construction (the graph regions vs regionOLTP*).
+func NewMixSciCom(cfg Config) *Mix {
+	cfg = cfg.normalize()
+	return newMix(cfg, "mix-sci-com", NewEM3D(cfg), NewOLTP(cfg, "DB2"))
 }
 
 // Name implements Generator.
-func (m *Mix) Name() string { return "mix" }
+func (m *Mix) Name() string { return m.name }
 
-// Class implements Generator. Both default parts are commercial services.
-func (m *Mix) Class() Class { return Commercial }
+// Class implements Generator: a colocated stack is commercial if any part
+// serves commercial traffic (its noise floor and stream interruptions
+// dominate the node's texture); a mix of purely scientific parts stays
+// scientific.
+func (m *Mix) Class() Class {
+	for _, g := range m.parts {
+		if g.Class() == Commercial {
+			return Commercial
+		}
+	}
+	return Scientific
+}
 
 // Timing implements Generator: the equal-share blend of the parts' profiles
 // (each part owns half of every node's time), with the lookahead of the

@@ -18,6 +18,9 @@ package workload
 //   - pagerank: Scale 4 grows the graph toward ~100K vertices.
 //   - cdn:      Scale 2 doubles the catalog; Repeat 4 serves 48K requests.
 //   - mix:      the memkv/cdn preset applied to both colocated parts.
+//   - mix-sci-com: a middle ground between the em3d and db2 presets — the
+//               scientific part's graph grows 4x while the commercial part
+//               sustains 4x the transactions.
 //
 // Repeat lengthens the trace without growing generator state, so a preset
 // run's memory footprint is still the (scaled) problem state alone.
@@ -43,6 +46,8 @@ var paperPresets = map[string]Preset{
 	"pagerank": {Scale: 4, Repeat: 1},
 	"cdn":      {Scale: 2, Repeat: 4},
 	"mix":      {Scale: 2, Repeat: 4},
+
+	"mix-sci-com": {Scale: 4, Repeat: 4},
 }
 
 // PaperPreset returns the Scale/Repeat at which the named workload's

@@ -226,6 +226,9 @@ func Registry() []Spec {
 		{Name: "mix", Class: Commercial, Extra: true,
 			Parameters: "memkv + cdn colocated, phase-alternating 64-access bursts",
 			New:        func(c Config) Generator { return NewMix(c) }},
+		{Name: "mix-sci-com", Class: Commercial, Extra: true,
+			Parameters: "em3d + db2 colocated, phase-alternating 64-access bursts",
+			New:        func(c Config) Generator { return NewMixSciCom(c) }},
 	}
 }
 

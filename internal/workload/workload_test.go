@@ -15,10 +15,10 @@ func testConfig() Config {
 
 func TestRegistryComplete(t *testing.T) {
 	specs := Registry()
-	if len(specs) != 11 {
-		t.Fatalf("registry has %d workloads, want 11", len(specs))
+	if len(specs) != 12 {
+		t.Fatalf("registry has %d workloads, want 12", len(specs))
 	}
-	wantOrder := []string{"em3d", "moldyn", "ocean", "apache", "db2", "oracle", "zeus", "memkv", "pagerank", "cdn", "mix"}
+	wantOrder := []string{"em3d", "moldyn", "ocean", "apache", "db2", "oracle", "zeus", "memkv", "pagerank", "cdn", "mix", "mix-sci-com"}
 	for i, s := range specs {
 		if s.Name != wantOrder[i] {
 			t.Fatalf("registry[%d] = %q, want %q", i, s.Name, wantOrder[i])
@@ -29,7 +29,7 @@ func TestRegistryComplete(t *testing.T) {
 		if s.New == nil {
 			t.Errorf("workload %q has no constructor", s.Name)
 		}
-		if s.Extra != (s.Name == "mix") {
+		if s.Extra != (s.Name == "mix" || s.Name == "mix-sci-com") {
 			t.Errorf("workload %q Extra = %v; only the cross-workload mixes are extras", s.Name, s.Extra)
 		}
 	}

@@ -7,10 +7,12 @@ package tsm
 // decoding each trace file exactly ONCE: a single decode pass is teed into
 // every consumer (the coverage model, the baseline timing model, the TSE
 // timing model, the Figure 12 baselines) by the fan-out engine in
-// internal/pipeline, with each consumer on its own goroutine behind a
-// bounded channel. The reports are bit-identical to the in-memory path and
-// to the retained multipass reference implementations — proven by tests and
-// pinned by the golden-file harness in testdata/.
+// internal/pipeline, with each consumer on its own goroutine reading a
+// cursor of the shared broadcast ring. The reports are bit-identical to the
+// in-memory path and to the retained multipass reference implementations —
+// proven by tests and pinned by the golden-file harness in testdata/. For
+// whole sensitivity sweeps over one file, see sweep.go
+// (EvaluateTSESweepFile): N configurations, still exactly one decode.
 
 import (
 	"fmt"
@@ -52,11 +54,18 @@ func coverageReport(r analysis.CoverageResult) Report {
 // EvaluateTSESource evaluates the paper's TSE configuration over a single
 // pass of an event source: ONE decode of src is teed into the trace-driven
 // coverage model, the baseline timing model and the TSE timing model, each
-// running concurrently on its own goroutine behind a bounded channel. The
-// events are never materialized, and the Report is bit-identical to
-// EvaluateTSE over the equivalent in-memory trace. meta names the workload
-// the source was generated from (as embedded in trace files).
+// running concurrently on its own goroutine over the fan-out engine's
+// default ring broadcast. The events are never materialized, and the Report
+// is bit-identical to EvaluateTSE over the equivalent in-memory trace. meta
+// names the workload the source was generated from (as embedded in trace
+// files).
 func EvaluateTSESource(src EventSource, meta TraceMeta) (Report, error) {
+	return evaluateTSESourceWith(pipeline.Config{}, src, meta)
+}
+
+// evaluateTSESourceWith is EvaluateTSESource under an explicit pipeline
+// configuration — the seam the ring-vs-channels replay benchmarks use.
+func evaluateTSESourceWith(pcfg pipeline.Config, src EventSource, meta TraceMeta) (Report, error) {
 	gen, opts, err := replayContext(meta)
 	if err != nil {
 		return Report{}, err
@@ -68,7 +77,7 @@ func EvaluateTSESource(src EventSource, meta TraceMeta) (Report, error) {
 	tseParams := params
 	tseParams.TSE = &cfg
 	withTSE := timing.NewConsumer(tseParams)
-	if err := pipeline.Run(src, cov, base, withTSE); err != nil {
+	if err := pcfg.Run(src, cov, base, withTSE); err != nil {
 		return Report{}, err
 	}
 	return tseReport(cov.Result, base.Result, withTSE.Result), nil

@@ -112,7 +112,8 @@ func (o Options) checked() (Options, error) {
 func Workloads() []string { return workload.Names() }
 
 // AllWorkloads returns every registered workload name, including the
-// cross-workload mixes ("mix": memkv + cdn colocated).
+// cross-workload mixes ("mix": memkv + cdn colocated; "mix-sci-com": em3d +
+// db2, a scientific texture phase-alternating with a commercial one).
 func AllWorkloads() []string { return workload.AllNames() }
 
 // Experiments returns the identifiers of every reproducible table and figure.

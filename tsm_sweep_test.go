@@ -1,0 +1,201 @@
+package tsm
+
+import (
+	"fmt"
+	"testing"
+
+	"tsm/internal/analysis"
+	"tsm/internal/experiments"
+	"tsm/internal/pipeline"
+	"tsm/internal/stream"
+)
+
+// TestSweepConfigsMirrorFigureDrivers: the named sweeps must use the figure
+// drivers' own cell axes — shared via internal/experiments — not private
+// copies that could drift. em3d is the probe workload because its Table 3
+// lookahead (18) differs from the sweeps' fixed base lookahead, so any
+// config that forgets to pin the lookahead shows up here.
+func TestSweepConfigsMirrorFigureDrivers(t *testing.T) {
+	opts := testOpts()
+	gen, err := newGenerator("em3d", opts.normalize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if la := gen.Timing().Lookahead; la == experiments.SweepBaseLookahead {
+		t.Fatalf("probe workload lookahead %d equals the sweep base; pick a different workload", la)
+	}
+
+	labels, cfgs, err := sweepConfigs("svb", gen, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := experiments.Fig9SVBPoints()
+	if len(cfgs) != len(points) {
+		t.Fatalf("svb sweep has %d cells, want %d (the Figure 9 axis)", len(cfgs), len(points))
+	}
+	for i, p := range points {
+		if labels[i] != p.Label || cfgs[i].SVBEntries != p.Entries {
+			t.Errorf("svb cell %d = %q/%d entries, want %q/%d (Figure 9 axis)", i, labels[i], cfgs[i].SVBEntries, p.Label, p.Entries)
+		}
+		if cfgs[i].Lookahead != experiments.SweepBaseLookahead {
+			t.Errorf("svb cell %d lookahead = %d, want %d as fig9Configs pins it", i, cfgs[i].Lookahead, experiments.SweepBaseLookahead)
+		}
+		if cfgs[i].CMOBEntries != 0 {
+			t.Errorf("svb cell %d CMOBEntries = %d, want 0 (isolate the SVB effect)", i, cfgs[i].CMOBEntries)
+		}
+	}
+
+	labels, cfgs, err = sweepConfigs("lookahead", gen, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lookaheads := experiments.Fig8Lookaheads()
+	if len(cfgs) != len(lookaheads) {
+		t.Fatalf("lookahead sweep has %d cells, want %d (the Figure 8 axis)", len(cfgs), len(lookaheads))
+	}
+	for i, la := range lookaheads {
+		if labels[i] != fmt.Sprintf("LA=%d", la) || cfgs[i].Lookahead != la {
+			t.Errorf("lookahead cell %d = %q/LA %d, want LA=%d (Figure 8 axis)", i, labels[i], cfgs[i].Lookahead, la)
+		}
+	}
+
+	_, cfgs, err = sweepConfigs("streams", gen, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cfg := range cfgs {
+		if cfg.ComparedStreams != i+1 || cfg.Lookahead != experiments.SweepBaseLookahead {
+			t.Errorf("streams cell %d = %d streams/LA %d, want %d streams/LA %d",
+				i, cfg.ComparedStreams, cfg.Lookahead, i+1, experiments.SweepBaseLookahead)
+		}
+	}
+}
+
+// TestSweepSingleDecodePass is the sweep facade's acceptance criterion: for
+// every named sweep, EvaluateTSESweepSource must decode the stream exactly
+// ONCE — N events + one EOF — however many cells the sweep has, and each
+// cell's report must match evaluating that cell's configuration on its own.
+func TestSweepSingleDecodePass(t *testing.T) {
+	opts := testOpts()
+	tr, gen, err := GenerateTrace("db2", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := TraceMeta{Workload: "db2", Nodes: opts.Nodes, Scale: opts.Scale, Seed: opts.Seed}
+	wantNexts := tr.Len() + 1
+
+	for _, sweep := range TSESweeps() {
+		src := &passCountingSource{src: stream.TraceSource(tr)}
+		cells, err := EvaluateTSESweepSource(src, meta, sweep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if src.nexts != wantNexts {
+			t.Errorf("sweep %q (%d cells) read the source %d times, want %d (one decode pass)",
+				sweep, len(cells), src.nexts, wantNexts)
+		}
+		if len(cells) < 2 {
+			t.Fatalf("sweep %q returned %d cells", sweep, len(cells))
+		}
+
+		// Per-cell parity: each cell must equal its own independent pass.
+		labels, cfgs, err := sweepConfigs(sweep, gen, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, cfg := range cfgs {
+			if cells[i].Label != labels[i] {
+				t.Errorf("sweep %q cell %d label = %q, want %q", sweep, i, cells[i].Label, labels[i])
+			}
+			cov, _ := analysis.EvaluateTSE(cfg, tr)
+			if want := coverageReport(cov); cells[i].Report != want {
+				t.Errorf("sweep %q cell %q: %+v != independent pass %+v", sweep, cells[i].Label, cells[i].Report, want)
+			}
+		}
+	}
+
+	if _, err := EvaluateTSESweepSource(stream.TraceSource(tr), meta, "bogus"); err == nil {
+		t.Fatal("unknown sweep should error")
+	}
+	if _, err := EvaluateTSESweepSource(stream.TraceSource(tr), TraceMeta{Workload: "bogus"}, "streams"); err == nil {
+		t.Fatal("bogus metadata should error")
+	}
+}
+
+// TestSweepStrategyParityAllWorkloads is the ring==channels differential at
+// the facade level, across EVERY registered workload (mixes included): the
+// ring broadcast and the channels reference must produce identical sweep
+// cells, and both must match the independent per-cell passes.
+func TestSweepStrategyParityAllWorkloads(t *testing.T) {
+	opts := Options{Nodes: 4, Scale: 0.03, Seed: 11}
+	for _, name := range AllWorkloads() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			tr, gen, err := GenerateTrace(name, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, cfgs, err := sweepConfigs("lookahead", gen, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ring, err := analysis.SweepWith(pipeline.Config{Strategy: pipeline.Ring}, cfgs, stream.TraceSource(tr))
+			if err != nil {
+				t.Fatal(err)
+			}
+			chans, err := analysis.SweepWith(pipeline.Config{Strategy: pipeline.Channels}, cfgs, stream.TraceSource(tr))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, cfg := range cfgs {
+				if ring[i].Coverage != chans[i].Coverage {
+					t.Fatalf("cell %d: ring %+v != channels %+v", i, ring[i].Coverage, chans[i].Coverage)
+				}
+				want, _ := analysis.EvaluateTSE(cfg, tr)
+				if ring[i].Coverage != want {
+					t.Fatalf("cell %d: sweep %+v != independent pass %+v", i, ring[i].Coverage, want)
+				}
+			}
+		})
+	}
+}
+
+// TestEvaluateTSESweepFile: the file path must reproduce the source path bit
+// for bit with exactly one decode of the file, and fail cleanly on unknown
+// sweeps and missing files.
+func TestEvaluateTSESweepFile(t *testing.T) {
+	opts := testOpts()
+	tr, gen, err := GenerateTrace("memkv", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/memkv.tsm"
+	if err := SaveTrace(path, tr, gen, opts); err != nil {
+		t.Fatal(err)
+	}
+	meta := TraceMeta{Workload: "memkv", Nodes: opts.Nodes, Scale: opts.Scale, Seed: opts.Seed}
+	for _, sweep := range TSESweeps() {
+		want, err := EvaluateTSESweepSource(stream.TraceSource(tr), meta, sweep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := EvaluateTSESweepFile(path, sweep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("sweep %q: file returned %d cells, want %d", sweep, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("sweep %q cell %d: file %+v != source %+v", sweep, i, got[i], want[i])
+			}
+		}
+	}
+	if _, err := EvaluateTSESweepFile(path, "bogus"); err == nil {
+		t.Fatal("unknown sweep should error")
+	}
+	if _, err := EvaluateTSESweepFile(t.TempDir()+"/missing.tsm", "streams"); err == nil {
+		t.Fatal("missing file should error")
+	}
+}

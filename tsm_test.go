@@ -16,13 +16,13 @@ func TestWorkloadsAndExperiments(t *testing.T) {
 	if len(Workloads()) != 10 {
 		t.Fatalf("Workloads() = %v", Workloads())
 	}
-	if len(AllWorkloads()) != 11 {
+	if len(AllWorkloads()) != 12 {
 		t.Fatalf("AllWorkloads() = %v", AllWorkloads())
 	}
-	if AllWorkloads()[10] != "mix" {
-		t.Fatalf("AllWorkloads() should end with the mix: %v", AllWorkloads())
+	if AllWorkloads()[10] != "mix" || AllWorkloads()[11] != "mix-sci-com" {
+		t.Fatalf("AllWorkloads() should end with the mixes: %v", AllWorkloads())
 	}
-	if len(Experiments()) != 15 {
+	if len(Experiments()) != 16 {
 		t.Fatalf("Experiments() = %v", Experiments())
 	}
 }
