@@ -16,44 +16,66 @@
 //
 //	tracegen -workload db2 -scale 0.5 -o db2.tsm
 //	tracegen -workload db2 -preset paper -o db2-full.tsm   # Table 2 footprint
+//	tracegen -workload db2 -preset paper -o db2.tsm -progress -metrics m.json
 //	tracegen -workload mix -o mix.tsm                      # memkv+cdn colocated
 //	tracegen -workload em3d -summary
 //
-// -materialize restores the reference path that builds the access slice
-// first (byte-identical output; it exists for differential testing and CI).
+// -progress prints periodic events/sec lines to stderr during generation
+// (paper-scale traces take minutes and otherwise run silent); -metrics
+// dumps the generation counters (accesses, events, wall time) as JSON;
+// -pprof serves net/http/pprof for the duration of the run. -materialize
+// restores the reference path that builds the access slice first
+// (byte-identical output; it exists for differential testing and CI).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
+	"time"
 
 	"tsm/internal/coherence"
 	"tsm/internal/mem"
+	"tsm/internal/obs"
 	"tsm/internal/stream"
 	"tsm/internal/trace"
 	"tsm/internal/workload"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment made explicit (argument list, output
+// streams, exit code as the return value) so the CLI's behaviour — flag
+// errors, unwritable outputs — is testable in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		name        = flag.String("workload", "db2", "workload name (see tsesim -list)")
-		nodes       = flag.Int("nodes", 16, "number of DSM nodes")
-		scale       = flag.Float64("scale", 1.0, "workload scale factor (data-structure footprint)")
-		repeat      = flag.Float64("repeat", 1.0, "run-length multiplier (iterations/transactions; lengthens the trace at constant memory)")
-		preset      = flag.String("preset", "", "problem-size preset: \"paper\" selects the workload's Table 2 footprint (explicit -scale/-repeat override it)")
-		seed        = flag.Int64("seed", 1, "generation seed")
-		out         = flag.String("o", "", "output trace file (.tsm; omit to skip writing)")
-		summary     = flag.Bool("summary", true, "print a trace summary")
-		materialize = flag.Bool("materialize", false, "materialize the access stream before classifying (reference path, identical bytes)")
+		name        = fs.String("workload", "db2", "workload name (see tsesim -list)")
+		nodes       = fs.Int("nodes", 16, "number of DSM nodes")
+		scale       = fs.Float64("scale", 1.0, "workload scale factor (data-structure footprint)")
+		repeat      = fs.Float64("repeat", 1.0, "run-length multiplier (iterations/transactions; lengthens the trace at constant memory)")
+		preset      = fs.String("preset", "", "problem-size preset: \"paper\" selects the workload's Table 2 footprint (explicit -scale/-repeat override it)")
+		seed        = fs.Int64("seed", 1, "generation seed")
+		out         = fs.String("o", "", "output trace file (.tsm; omit to skip writing)")
+		summary     = fs.Bool("summary", true, "print a trace summary")
+		materialize = fs.Bool("materialize", false, "materialize the access stream before classifying (reference path, identical bytes)")
+		metricsOut  = fs.String("metrics", "", "write generation counters (JSON) to this file after the run")
+		progress    = fs.Bool("progress", false, "print periodic events/sec lines to stderr during generation")
+		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this address for the duration of the run")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	spec, ok := workload.ByName(*name)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "tracegen: unknown workload %q\n", *name)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "tracegen: unknown workload %q\n", *name)
+		return 2
 	}
 
 	cfg := workload.Config{Nodes: *nodes, Seed: *seed, Scale: *scale, Repeat: *repeat}
@@ -62,12 +84,12 @@ func main() {
 	case "paper":
 		p, ok := workload.PaperPreset(spec.Name)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "tracegen: no paper preset for workload %q\n", spec.Name)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "tracegen: no paper preset for workload %q\n", spec.Name)
+			return 2
 		}
 		// Explicitly set flags win over the preset.
 		set := map[string]bool{}
-		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
 		if !set["scale"] {
 			cfg.Scale = p.Scale
 		}
@@ -75,8 +97,39 @@ func main() {
 			cfg.Repeat = p.Repeat
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "tracegen: unknown preset %q (known: paper)\n", *preset)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "tracegen: unknown preset %q (known: paper)\n", *preset)
+		return 2
+	}
+
+	// Fail on an unwritable output path before generating anything: a typo'd
+	// -o or -metrics must cost milliseconds, not a full paper-scale run.
+	for _, path := range []string{*out, *metricsOut} {
+		if path == "" {
+			continue
+		}
+		if err := checkWritable(path); err != nil {
+			fmt.Fprintf(stderr, "tracegen: %v\n", err)
+			return 1
+		}
+	}
+	reg := obs.NewRegistry()
+	eventCount := reg.Counter("tracegen.events")
+	if *pprofAddr != "" {
+		bound, shutdown, err := obs.ServeDebug(*pprofAddr, reg)
+		if err != nil {
+			fmt.Fprintf(stderr, "tracegen: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "tracegen: pprof+metrics listening on %s\n", bound)
+		defer shutdown()
+	}
+	var meter *obs.Progress
+	if *progress {
+		meter = obs.StartProgress(obs.ProgressConfig{
+			W:      stderr,
+			Label:  "generate " + spec.Name,
+			Events: eventCount,
+		})
 	}
 
 	gen := spec.New(cfg)
@@ -102,35 +155,58 @@ func main() {
 	}
 
 	// The summary's per-node distribution is accumulated on the fly, so the
-	// trace streams from the engine to the file without materializing.
+	// trace streams from the engine to the file without materializing. The
+	// progress meter watches the shared counter (atomic — the meter reads it
+	// from its own goroutine).
 	var events uint64
 	perNode := make([]int, *nodes)
 	observe := func(e trace.Event) {
 		events++
+		eventCount.Inc()
 		if e.Kind == trace.KindConsumption && e.Node >= 0 && int(e.Node) < len(perNode) {
 			perNode[e.Node]++
 		}
 	}
 
+	start := time.Now()
+	var runErr error
 	if *out != "" {
 		meta := stream.Meta{Workload: spec.Name, Nodes: *nodes, Scale: cfg.Scale, Seed: *seed, Repeat: cfg.Repeat}
-		if err := writeStreamed(*out, meta, eng, src, observe); err != nil {
-			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-			os.Exit(1)
-		}
+		runErr = writeStreamed(*out, meta, eng, src, observe)
 	} else {
-		if err := eng.RunSource(src, func(e trace.Event) error { observe(e); return nil }); err != nil {
-			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-			os.Exit(1)
+		runErr = eng.RunSource(src, func(e trace.Event) error { observe(e); return nil })
+	}
+	meter.Stop()
+	if runErr != nil {
+		fmt.Fprintf(stderr, "tracegen: %v\n", runErr)
+		return 1
+	}
+	reg.Counter("tracegen.accesses").Add(accesses)
+	reg.Counter("tracegen.wall_ns").Add(uint64(time.Since(start)))
+	if *metricsOut != "" {
+		if err := reg.WriteFile(*metricsOut); err != nil {
+			fmt.Fprintf(stderr, "tracegen: %v\n", err)
+			return 1
 		}
 	}
 
 	if *summary {
-		printSummary(spec, gen, cfg, accesses, events, perNode, eng)
+		printSummary(stdout, spec, gen, cfg, accesses, events, perNode, eng)
 	}
 	if *out != "" {
-		fmt.Printf("wrote %d events to %s\n", events, *out)
+		fmt.Fprintf(stdout, "wrote %d events to %s\n", events, *out)
 	}
+	return 0
+}
+
+// checkWritable verifies an output path can be created (or opened for
+// writing) now. The file is left in place for the run to overwrite.
+func checkWritable(path string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("output not writable: %w", err)
+	}
+	return f.Close()
 }
 
 // writeStreamed pipes the engine's event stream into a trace file, feeding
@@ -154,25 +230,25 @@ func writeStreamed(path string, meta stream.Meta, eng *coherence.Engine, src coh
 	return w.Close()
 }
 
-func printSummary(spec workload.Spec, gen workload.Generator, cfg workload.Config, accesses, events uint64, perNode []int, eng *coherence.Engine) {
+func printSummary(stdout io.Writer, spec workload.Spec, gen workload.Generator, cfg workload.Config, accesses, events uint64, perNode []int, eng *coherence.Engine) {
 	stats := eng.Stats()
-	fmt.Printf("workload:      %s (%s)\n", spec.Name, spec.Class)
-	fmt.Printf("parameters:    %s\n", spec.Parameters)
-	fmt.Printf("problem size:  scale=%g repeat=%g\n", cfg.Scale, cfg.Repeat)
-	fmt.Printf("accesses:      %d\n", accesses)
-	fmt.Printf("trace events:  %d\n", events)
-	fmt.Printf("consumptions:  %d\n", stats.Consumptions)
-	fmt.Printf("spin misses:   %d (excluded)\n", stats.SpinMisses)
-	fmt.Printf("private misses:%d\n", stats.PrivateMisses)
-	fmt.Printf("write misses:  %d\n", stats.WriteMisses)
+	fmt.Fprintf(stdout, "workload:      %s (%s)\n", spec.Name, spec.Class)
+	fmt.Fprintf(stdout, "parameters:    %s\n", spec.Parameters)
+	fmt.Fprintf(stdout, "problem size:  scale=%g repeat=%g\n", cfg.Scale, cfg.Repeat)
+	fmt.Fprintf(stdout, "accesses:      %d\n", accesses)
+	fmt.Fprintf(stdout, "trace events:  %d\n", events)
+	fmt.Fprintf(stdout, "consumptions:  %d\n", stats.Consumptions)
+	fmt.Fprintf(stdout, "spin misses:   %d (excluded)\n", stats.SpinMisses)
+	fmt.Fprintf(stdout, "private misses:%d\n", stats.PrivateMisses)
+	fmt.Fprintf(stdout, "write misses:  %d\n", stats.WriteMisses)
 	prof := gen.Timing()
-	fmt.Printf("timing profile: busy=%.2f other=%.2f coherent=%.2f MLP=%.1f lookahead=%d\n",
+	fmt.Fprintf(stdout, "timing profile: busy=%.2f other=%.2f coherent=%.2f MLP=%.1f lookahead=%d\n",
 		prof.BusyFraction, prof.OtherStallFraction, prof.CoherentStallFraction, prof.MLP, prof.Lookahead)
 
 	counts := append([]int(nil), perNode...)
 	sort.Ints(counts)
 	if len(counts) > 0 {
-		fmt.Printf("consumptions per node: min=%d median=%d max=%d\n",
+		fmt.Fprintf(stdout, "consumptions per node: min=%d median=%d max=%d\n",
 			counts[0], counts[len(counts)/2], counts[len(counts)-1])
 	}
 }

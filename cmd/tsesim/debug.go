@@ -1,0 +1,28 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"tsm"
+	"tsm/internal/obs"
+)
+
+// checkWritable verifies an output path can be created (or truncated) NOW,
+// so a typo'd -metrics/-trace path fails before the run instead of after
+// minutes of replay. The file is left in place for the post-run dump to
+// overwrite.
+func checkWritable(path string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("output not writable: %w", err)
+	}
+	return f.Close()
+}
+
+// servePprof starts the debug HTTP endpoint: net/http/pprof under
+// /debug/pprof/ and a live metrics snapshot at /metrics.
+func servePprof(addr string, reg *tsm.Metrics) (shutdown func(), err error) {
+	_, shutdown, err = obs.ServeDebug(addr, reg)
+	return shutdown, err
+}

@@ -11,6 +11,7 @@
 //	tsesim -i db2.tsm                        # evaluate TSE on a trace file
 //	tsesim -i db2.tsm -compare               # ...all Figure 12 models
 //	tsesim -i db2.tsm -sweep lookahead       # whole sensitivity sweep, one decode
+//	tsesim -i db2.tsm -metrics m.json -trace t.json -progress
 //	tsesim -list                             # list experiments and workloads
 //
 // With -i the evaluation uses the generation metadata embedded in the trace
@@ -29,6 +30,19 @@
 // workload's trace is generated exactly once); -serial restores the
 // one-at-a-time path.
 //
+// Observability (all opt-in, stdout reports stay byte-identical):
+//
+//	-metrics out.json  dump the engine's metrics registry — events/chunks
+//	                   decoded, ring occupancy, per-consumer throughput, lag
+//	                   and stall time, backpressure wait histograms — as JSON
+//	-trace out.json    dump per-stage spans (decode pass, per-chunk decodes,
+//	                   one lane per consumer) in the Chrome trace-event
+//	                   format; load at chrome://tracing or ui.perfetto.dev
+//	-progress          periodic events/sec (and, with -i, percent + ETA)
+//	                   lines on stderr during long runs
+//	-pprof addr        serve net/http/pprof on addr for the duration of the
+//	                   run, plus GET /metrics for a live registry snapshot
+//
 // The output of each experiment is a plain-text table whose rows mirror the
 // corresponding table or figure in the paper; EXPERIMENTS.md records a
 // reference run next to the published values.
@@ -37,6 +51,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -47,56 +62,125 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment made explicit (argument list, output
+// streams, exit code as the return value) so the CLI's behaviour — flag
+// errors, missing input files, unwritable outputs — is testable in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tsesim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		experimentID = flag.String("experiment", "all", "experiment id (fig6..fig14, table1..table3, suite) or \"all\"")
-		workloads    = flag.String("workloads", "", "comma-separated workload subset (default: every registered workload)")
-		nodes        = flag.Int("nodes", 16, "number of DSM nodes")
-		scale        = flag.Float64("scale", 1.0, "workload scale factor")
-		seed         = flag.Int64("seed", 1, "workload generation seed")
-		input        = flag.String("i", "", "evaluate a trace file written by tracegen -o instead of running experiments")
-		compare      = flag.Bool("compare", false, "with -i: evaluate all Figure 12 models, not just TSE")
-		sweep        = flag.String("sweep", "", "with -i: run a named TSE sensitivity sweep (streams|lookahead|svb) over ONE decode of the file")
-		inmem        = flag.Bool("inmem", false, "with -i: materialize the trace instead of streaming it (same reports)")
-		multipass    = flag.Bool("multipass", false, "with -i: decode the file once per consumer instead of fusing into one pass (same reports)")
-		serial       = flag.Bool("serial", false, "run experiments one at a time instead of in parallel")
-		list         = flag.Bool("list", false, "list available experiments and workloads, then exit")
-		quiet        = flag.Bool("quiet", false, "suppress progress messages")
+		experimentID = fs.String("experiment", "all", "experiment id (fig6..fig14, table1..table3, suite) or \"all\"")
+		workloads    = fs.String("workloads", "", "comma-separated workload subset (default: every registered workload)")
+		nodes        = fs.Int("nodes", 16, "number of DSM nodes")
+		scale        = fs.Float64("scale", 1.0, "workload scale factor")
+		seed         = fs.Int64("seed", 1, "workload generation seed")
+		input        = fs.String("i", "", "evaluate a trace file written by tracegen -o instead of running experiments")
+		compare      = fs.Bool("compare", false, "with -i: evaluate all Figure 12 models, not just TSE")
+		sweep        = fs.String("sweep", "", "with -i: run a named TSE sensitivity sweep (streams|lookahead|svb) over ONE decode of the file")
+		inmem        = fs.Bool("inmem", false, "with -i: materialize the trace instead of streaming it (same reports)")
+		multipass    = fs.Bool("multipass", false, "with -i: decode the file once per consumer instead of fusing into one pass (same reports)")
+		serial       = fs.Bool("serial", false, "run experiments one at a time instead of in parallel")
+		list         = fs.Bool("list", false, "list available experiments and workloads, then exit")
+		quiet        = fs.Bool("quiet", false, "suppress progress messages")
+		metricsOut   = fs.String("metrics", "", "write an engine metrics snapshot (JSON) to this file after the run")
+		traceOut     = fs.String("trace", "", "write per-stage spans (Chrome trace-event JSON) to this file after the run")
+		progress     = fs.Bool("progress", false, "print periodic throughput/ETA lines to stderr during the run")
+		pprofAddr    = fs.String("pprof", "", "serve net/http/pprof (plus /metrics) on this address for the duration of the run")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
-		fmt.Println("experiments:")
+		fmt.Fprintln(stdout, "experiments:")
 		for _, e := range experiments.All() {
-			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "  %-8s %s\n", e.ID, e.Title)
 		}
-		fmt.Println("workloads:")
+		fmt.Fprintln(stdout, "workloads:")
 		for _, s := range workload.Registry() {
-			fmt.Printf("  %-8s %-11s %s\n", s.Name, s.Class.String(), s.Parameters)
+			fmt.Fprintf(stdout, "  %-8s %-11s %s\n", s.Name, s.Class.String(), s.Parameters)
 		}
-		return
+		return 0
+	}
+
+	// Observability attachments. The metrics registry exists whenever any
+	// sink needs it (-metrics, or the /metrics endpoint of -pprof); the
+	// writability of the output paths is validated before the run, so a
+	// typo'd path fails in milliseconds, not after minutes of replay.
+	var ins tsm.Instrumentation
+	if *metricsOut != "" || *pprofAddr != "" {
+		ins.Metrics = tsm.NewMetrics()
+	}
+	if *traceOut != "" {
+		ins.Tracer = tsm.NewTracer()
+	}
+	if *progress {
+		ins.Progress = stderr
+	}
+	for _, out := range []string{*metricsOut, *traceOut} {
+		if out == "" {
+			continue
+		}
+		if err := checkWritable(out); err != nil {
+			fmt.Fprintf(stderr, "tsesim: %v\n", err)
+			return 1
+		}
+	}
+	if *pprofAddr != "" {
+		shutdown, err := servePprof(*pprofAddr, ins.Metrics)
+		if err != nil {
+			fmt.Fprintf(stderr, "tsesim: %v\n", err)
+			return 1
+		}
+		if !*quiet {
+			fmt.Fprintf(stderr, "tsesim: pprof+metrics listening on %s\n", *pprofAddr)
+		}
+		defer shutdown()
+	}
+	// Dump the observability artifacts on every exit path once the run has
+	// started — a failed replay still leaves the counters collected so far.
+	dump := func() int {
+		if *metricsOut != "" {
+			if err := ins.Metrics.WriteFile(*metricsOut); err != nil {
+				fmt.Fprintf(stderr, "tsesim: %v\n", err)
+				return 1
+			}
+		}
+		if *traceOut != "" {
+			if err := ins.Tracer.WriteFile(*traceOut); err != nil {
+				fmt.Fprintf(stderr, "tsesim: %v\n", err)
+				return 1
+			}
+		}
+		return 0
 	}
 
 	if *input != "" {
 		if *inmem && *multipass {
-			fmt.Fprintln(os.Stderr, "tsesim: -inmem and -multipass are mutually exclusive (both are alternatives to the fused streamed path)")
-			os.Exit(2)
+			fmt.Fprintln(stderr, "tsesim: -inmem and -multipass are mutually exclusive (both are alternatives to the fused streamed path)")
+			return 2
 		}
 		if *sweep != "" {
 			if *compare || *inmem || *multipass {
-				fmt.Fprintln(os.Stderr, "tsesim: -sweep runs on the fused single-decode path and cannot combine with -compare, -inmem or -multipass")
-				os.Exit(2)
+				fmt.Fprintln(stderr, "tsesim: -sweep runs on the fused single-decode path and cannot combine with -compare, -inmem or -multipass")
+				return 2
 			}
-			if err := sweepTrace(*input, *sweep, *quiet); err != nil {
-				fmt.Fprintf(os.Stderr, "tsesim: %v\n", err)
-				os.Exit(1)
+			if err := sweepTrace(stdout, *input, *sweep, *quiet, ins); err != nil {
+				fmt.Fprintf(stderr, "tsesim: %v\n", err)
+				dump()
+				return 1
 			}
-			return
+			return dump()
 		}
-		if err := replayTrace(*input, *compare, *inmem, *multipass, *quiet); err != nil {
-			fmt.Fprintf(os.Stderr, "tsesim: %v\n", err)
-			os.Exit(1)
+		if err := replayTrace(stdout, *input, *compare, *inmem, *multipass, *quiet, ins); err != nil {
+			fmt.Fprintf(stderr, "tsesim: %v\n", err)
+			dump()
+			return 1
 		}
-		return
+		return dump()
 	}
 
 	opts := experiments.Options{Nodes: *nodes, Scale: *scale, Seed: *seed}
@@ -107,9 +191,9 @@ func main() {
 				continue
 			}
 			if _, ok := workload.ByName(name); !ok {
-				fmt.Fprintf(os.Stderr, "tsesim: unknown workload %q (known: %s)\n",
+				fmt.Fprintf(stderr, "tsesim: unknown workload %q (known: %s)\n",
 					name, strings.Join(workload.AllNames(), ", "))
-				os.Exit(2)
+				return 2
 			}
 			opts.Workloads = append(opts.Workloads, name)
 		}
@@ -121,42 +205,48 @@ func main() {
 	} else {
 		exp, ok := experiments.ByID(*experimentID)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "tsesim: unknown experiment %q (known: %s)\n",
+			fmt.Fprintf(stderr, "tsesim: unknown experiment %q (known: %s)\n",
 				*experimentID, strings.Join(experiments.IDs(), ", "))
-			os.Exit(2)
+			return 2
 		}
 		selected = []experiments.Experiment{exp}
 	}
 
 	w := experiments.NewWorkspace(opts)
+	// Every figure's one-walk sweep batch reports per-cell consumer
+	// throughput through the attached registry/tracer.
+	w.Observe(ins.Metrics, ins.Tracer)
 	if !*serial && len(selected) > 1 {
 		start := time.Now()
 		tables, err := experiments.RunAll(w, selected)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "tsesim: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "tsesim: %v\n", err)
+			dump()
+			return 1
 		}
 		for _, tbl := range tables {
-			fmt.Println(tbl.String())
+			fmt.Fprintln(stdout, tbl.String())
 		}
 		if !*quiet {
-			fmt.Printf("(%d experiments completed in parallel in %v)\n",
+			fmt.Fprintf(stdout, "(%d experiments completed in parallel in %v)\n",
 				len(tables), time.Since(start).Round(time.Millisecond))
 		}
-		return
+		return dump()
 	}
 	for _, exp := range selected {
 		start := time.Now()
 		tbl, err := exp.Run(w)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "tsesim: %s failed: %v\n", exp.ID, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "tsesim: %s failed: %v\n", exp.ID, err)
+			dump()
+			return 1
 		}
-		fmt.Println(tbl.String())
+		fmt.Fprintln(stdout, tbl.String())
 		if !*quiet {
-			fmt.Printf("(%s completed in %v)\n\n", exp.ID, time.Since(start).Round(time.Millisecond))
+			fmt.Fprintf(stdout, "(%s completed in %v)\n\n", exp.ID, time.Since(start).Round(time.Millisecond))
 		}
 	}
+	return dump()
 }
 
 // sweepTrace runs one named TSE sensitivity sweep over a trace file: every
@@ -164,24 +254,24 @@ func main() {
 // the ring fan-out engine, so the whole study costs one codec pass and
 // bounded memory however wide the sweep is. The per-cell reports are
 // bit-identical to evaluating each configuration on its own.
-func sweepTrace(path, sweep string, quiet bool) error {
+func sweepTrace(stdout io.Writer, path, sweep string, quiet bool, ins tsm.Instrumentation) error {
 	start := time.Now()
 	meta, err := tsm.ReplayMeta(path)
 	if err != nil {
 		return err
 	}
 	if !quiet {
-		fmt.Printf("trace: %s (sweep %s, fused single decode)\n", meta, sweep)
+		fmt.Fprintf(stdout, "trace: %s (sweep %s, fused single decode)\n", meta, sweep)
 	}
-	cells, err := tsm.EvaluateTSESweepFile(path, sweep)
+	cells, err := tsm.EvaluateTSESweepFileObserved(path, sweep, ins)
 	if err != nil {
 		return err
 	}
 	for _, c := range cells {
-		fmt.Println(c)
+		fmt.Fprintln(stdout, c)
 	}
 	if !quiet {
-		fmt.Printf("(%d-cell sweep completed in %v, one decode pass)\n", len(cells), time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "(%d-cell sweep completed in %v, one decode pass)\n", len(cells), time.Since(start).Round(time.Millisecond))
 	}
 	return nil
 }
@@ -192,8 +282,10 @@ func sweepTrace(path, sweep string, quiet bool) error {
 // the full TSE + timing pipeline in bounded memory with exactly one decode
 // pass teed into every consumer; multipass restores the decode-per-consumer
 // reference path, and inmem materializes the trace first (identical reports
-// in every mode, memory proportional to the trace only with inmem).
-func replayTrace(path string, compare, inmem, multipass, quiet bool) error {
+// in every mode, memory proportional to the trace only with inmem). The
+// multipass and inmem reference paths predate the fan-out engine and do not
+// carry instrumentation.
+func replayTrace(stdout io.Writer, path string, compare, inmem, multipass, quiet bool, ins tsm.Instrumentation) error {
 	start := time.Now()
 	mode := "streamed, fused single decode"
 	if multipass {
@@ -214,7 +306,7 @@ func replayTrace(path string, compare, inmem, multipass, quiet bool) error {
 		}
 		opts := tsm.OptionsFor(meta)
 		if !quiet {
-			fmt.Printf("trace: %s (%d events, %d consumptions, %s)\n", meta, tr.Len(), tr.ConsumptionCount(), mode)
+			fmt.Fprintf(stdout, "trace: %s (%d events, %d consumptions, %s)\n", meta, tr.Len(), tr.ConsumptionCount(), mode)
 		}
 		if compare {
 			reports, err = tsm.EvaluateAll(tr, gen, opts)
@@ -232,20 +324,20 @@ func replayTrace(path string, compare, inmem, multipass, quiet bool) error {
 			return err
 		}
 		if !quiet {
-			fmt.Printf("trace: %s (%s)\n", meta, mode)
+			fmt.Fprintf(stdout, "trace: %s (%s)\n", meta, mode)
 		}
 		switch {
 		case compare && multipass:
 			reports, err = tsm.EvaluateAllFileMultipass(path)
 		case compare:
-			reports, err = tsm.EvaluateAllFile(path)
+			reports, err = tsm.EvaluateAllFileObserved(path, ins)
 		case multipass:
 			var rep tsm.Report
 			rep, err = tsm.EvaluateTSEFileMultipass(path)
 			reports = []tsm.Report{rep}
 		default:
 			var rep tsm.Report
-			rep, err = tsm.EvaluateTSEFile(path)
+			rep, err = tsm.EvaluateTSEFileObserved(path, ins)
 			reports = []tsm.Report{rep}
 		}
 		if err != nil {
@@ -253,10 +345,10 @@ func replayTrace(path string, compare, inmem, multipass, quiet bool) error {
 		}
 	}
 	for _, r := range reports {
-		fmt.Println(r)
+		fmt.Fprintln(stdout, r)
 	}
 	if !quiet {
-		fmt.Printf("(replay completed in %v)\n", time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "(replay completed in %v)\n", time.Since(start).Round(time.Millisecond))
 	}
 	return nil
 }

@@ -1,0 +1,205 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tsm"
+	"tsm/internal/obs"
+	"tsm/internal/stream"
+)
+
+// writeTestTrace generates a small trace file through the facade's streamed
+// pipeline (the exact path tracegen uses) for the replay tests.
+func writeTestTrace(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.tsm")
+	if err := generateSmallTrace(path); err != nil {
+		t.Fatalf("generating test trace: %v", err)
+	}
+	return path
+}
+
+// generateSmallTrace streams one tiny db2 trace into path.
+func generateSmallTrace(path string) (err error) {
+	opts := tsm.Options{Nodes: 4, Scale: 0.05, Seed: 9}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() { err = stream.CloseMerge(f, err) }()
+	w, err := stream.NewWriter(f, stream.Meta{Workload: "db2", Nodes: opts.Nodes, Scale: opts.Scale, Seed: opts.Seed})
+	if err != nil {
+		return err
+	}
+	if _, _, err := tsm.StreamTrace("db2", opts, w); err != nil {
+		return err
+	}
+	return w.Close()
+}
+
+// TestRunMissingInput: a missing -i file must exit non-zero with a clear
+// error on stderr, not panic or print an empty report.
+func TestRunMissingInput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-i", filepath.Join(t.TempDir(), "nope.tsm")}, &stdout, &stderr)
+	if code == 0 {
+		t.Fatalf("missing input exited 0\nstdout:\n%s", &stdout)
+	}
+	msg := stderr.String()
+	if !strings.Contains(msg, "tsesim:") || !strings.Contains(msg, "nope.tsm") {
+		t.Fatalf("stderr lacks a clear error naming the file:\n%s", msg)
+	}
+	if strings.Contains(stdout.String(), "coverage") {
+		t.Fatalf("stdout contains a report despite the failure:\n%s", &stdout)
+	}
+}
+
+// TestRunUnwritableMetrics: an unwritable -metrics path must fail fast,
+// before the replay runs.
+func TestRunUnwritableMetrics(t *testing.T) {
+	path := writeTestTrace(t)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-i", path, "-metrics", filepath.Join(t.TempDir(), "no", "such", "dir", "m.json")}, &stdout, &stderr)
+	if code == 0 {
+		t.Fatalf("unwritable -metrics exited 0\nstdout:\n%s", &stdout)
+	}
+	if !strings.Contains(stderr.String(), "not writable") {
+		t.Fatalf("stderr lacks the writability error:\n%s", stderr.String())
+	}
+}
+
+// TestRunBadFlagCombo: contradictory flags exit 2 (usage error).
+func TestRunBadFlagCombo(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-i", "x.tsm", "-inmem", "-multipass"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("-inmem -multipass exited %d, want 2", code)
+	}
+	if code := run([]string{"-i", "x.tsm", "-sweep", "lookahead", "-compare"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("-sweep -compare exited %d, want 2", code)
+	}
+}
+
+// TestRunObservedReplay drives the acceptance-criteria command end to end:
+// replay with -sweep, -metrics, -trace and -progress attached, then check
+// both artifacts are valid JSON with the expected content.
+func TestRunObservedReplay(t *testing.T) {
+	path := writeTestTrace(t)
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "m.json")
+	traceOut := filepath.Join(dir, "t.json")
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-i", path, "-sweep", "lookahead", "-metrics", metrics, "-trace", traceOut, "-progress"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("observed sweep exited %d\nstderr:\n%s", code, &stderr)
+	}
+	if !strings.Contains(stdout.String(), "LA=") {
+		t.Fatalf("sweep output lacks cells:\n%s", &stdout)
+	}
+	// Progress output (the meter's final line) goes to stderr only.
+	if !strings.Contains(stderr.String(), "events") {
+		t.Fatalf("stderr lacks the progress summary:\n%s", &stderr)
+	}
+
+	raw, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("metrics file is not valid JSON: %v\n%s", err, raw)
+	}
+	decoded := snap.Counters["pipeline.events_decoded"]
+	if decoded == 0 {
+		t.Fatalf("metrics lack decode progress:\n%s", raw)
+	}
+	if snap.Gauges["pipeline.ring.occupancy_max"] <= 0 {
+		t.Fatalf("metrics lack ring occupancy:\n%s", raw)
+	}
+	// Per-cell consumer counters, labelled with the sweep's cell labels.
+	if got := snap.Counters["pipeline.consumer.LA=8.events"]; got != decoded {
+		t.Fatalf("per-cell consumer counter = %d, want %d:\n%s", got, decoded, raw)
+	}
+	if _, ok := snap.Histograms["pipeline.consumer_wait_ns"]; !ok {
+		t.Fatalf("metrics lack the consumer wait histogram:\n%s", raw)
+	}
+
+	rawTrace, err := os.ReadFile(traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(rawTrace, &chrome); err != nil {
+		t.Fatalf("trace file is not valid chrome JSON: %v\n%s", err, rawTrace)
+	}
+	var sawDecode, sawConsumer bool
+	for _, e := range chrome.TraceEvents {
+		if e.Ph == "X" && e.Name == "decode" {
+			sawDecode = true
+		}
+		if e.Ph == "X" && strings.HasPrefix(e.Name, "LA=") {
+			sawConsumer = true
+		}
+	}
+	if !sawDecode || !sawConsumer {
+		t.Fatalf("trace lacks decode/consumer spans (decode=%v consumer=%v):\n%s", sawDecode, sawConsumer, rawTrace)
+	}
+}
+
+// TestRunExperimentMetrics: the experiment batch path reports per-cell
+// consumer throughput through -metrics, labelled "<workload>/cell<i>".
+func TestRunExperimentMetrics(t *testing.T) {
+	metrics := filepath.Join(t.TempDir(), "m.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-experiment", "fig8", "-workloads", "db2",
+		"-scale", "0.05", "-nodes", "4", "-quiet", "-metrics", metrics}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("experiment run exited %d\nstderr:\n%s", code, &stderr)
+	}
+	raw, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("metrics file is not valid JSON: %v\n%s", err, raw)
+	}
+	if got := snap.Counters["pipeline.consumer.db2/cell0.events"]; got == 0 {
+		t.Fatalf("metrics lack per-cell consumer counters:\n%s", raw)
+	}
+	if snap.Counters["pipeline.events_decoded"] == 0 {
+		t.Fatalf("metrics lack decode counters:\n%s", raw)
+	}
+}
+
+// TestRunObservedOutputsIdentical: attaching instrumentation must not change
+// the report on stdout byte for byte.
+func TestRunObservedOutputsIdentical(t *testing.T) {
+	path := writeTestTrace(t)
+	dir := t.TempDir()
+
+	var plain, observed, stderr bytes.Buffer
+	if code := run([]string{"-i", path, "-quiet"}, &plain, &stderr); code != 0 {
+		t.Fatalf("plain replay exited %d\nstderr:\n%s", code, &stderr)
+	}
+	args := []string{"-i", path, "-quiet",
+		"-metrics", filepath.Join(dir, "m.json"),
+		"-trace", filepath.Join(dir, "t.json"),
+		"-progress"}
+	if code := run(args, &observed, &stderr); code != 0 {
+		t.Fatalf("observed replay exited %d\nstderr:\n%s", code, &stderr)
+	}
+	if plain.String() != observed.String() {
+		t.Fatalf("instrumentation changed stdout:\nplain:\n%s\nobserved:\n%s", &plain, &observed)
+	}
+}

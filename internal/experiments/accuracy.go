@@ -45,7 +45,7 @@ func Fig7(w *Workspace) (Table, error) {
 		if err != nil {
 			return Table{}, err
 		}
-		cells, err := sweepCells(data, cfgs)
+		cells, err := sweepCells(w, data, cfgs)
 		if err != nil {
 			return Table{}, err
 		}
@@ -93,7 +93,7 @@ func Fig8(w *Workspace) (Table, error) {
 		if err != nil {
 			return Table{}, err
 		}
-		cells, err := sweepCells(data, cfgs)
+		cells, err := sweepCells(w, data, cfgs)
 		if err != nil {
 			return Table{}, err
 		}
@@ -157,7 +157,7 @@ func Fig9(w *Workspace) (Table, error) {
 		if err != nil {
 			return Table{}, err
 		}
-		cells, err := sweepCells(data, cfgs)
+		cells, err := sweepCells(w, data, cfgs)
 		if err != nil {
 			return Table{}, err
 		}
@@ -206,7 +206,7 @@ func Fig10(w *Workspace) (Table, error) {
 		if err != nil {
 			return Table{}, err
 		}
-		cells, err := sweepCells(data, fig10Configs(w, data.Generator.Timing().Lookahead))
+		cells, err := sweepCells(w, data, fig10Configs(w, data.Generator.Timing().Lookahead))
 		if err != nil {
 			return Table{}, err
 		}

@@ -21,6 +21,8 @@ import (
 	"tsm/internal/analysis"
 	"tsm/internal/coherence"
 	"tsm/internal/config"
+	"tsm/internal/obs"
+	"tsm/internal/pipeline"
 	"tsm/internal/stream"
 	"tsm/internal/trace"
 	"tsm/internal/tse"
@@ -138,6 +140,12 @@ type Workspace struct {
 	opts   Options
 	system config.SystemConfig
 
+	// metrics and tracer, when set via Observe, instrument every sweep the
+	// batch runs (both are concurrency-safe, so parallel experiments share
+	// them freely).
+	metrics *obs.Registry
+	tracer  *obs.Tracer
+
 	mu   sync.Mutex
 	data map[string]*workloadEntry
 }
@@ -155,6 +163,15 @@ func NewWorkspace(opts Options) *Workspace {
 	sys := config.DefaultSystem()
 	sys.Nodes = opts.Nodes
 	return &Workspace{opts: opts, system: sys, data: make(map[string]*workloadEntry)}
+}
+
+// Observe attaches a metrics registry and/or stage tracer to the workspace:
+// every figure's one-walk sweep batch then reports per-cell consumer
+// throughput (labelled "<workload>/cell<i>") through them. Call before
+// running experiments; either argument may be nil.
+func (w *Workspace) Observe(m *obs.Registry, tr *obs.Tracer) {
+	w.metrics = m
+	w.tracer = tr
 }
 
 // Options returns the normalised options.
@@ -268,8 +285,15 @@ func RunAll(w *Workspace, exps []Experiment) ([]Table, error) {
 // bit-identical to the per-cell passes — EvaluateTSEStream is pinned equal
 // to EvaluateTSE — which is what keeps every sweep figure's golden
 // byte-identical to the pre-sweep drivers.
-func sweepCells(data *WorkloadData, cfgs []tse.Config) ([]analysis.CoverageResult, error) {
-	results, err := analysis.Sweep(cfgs, stream.TraceSource(data.Trace))
+func sweepCells(w *Workspace, data *WorkloadData, cfgs []tse.Config) ([]analysis.CoverageResult, error) {
+	pcfg := pipeline.Config{Metrics: w.metrics, Tracer: w.tracer}
+	if pcfg.Metrics != nil || pcfg.Tracer != nil {
+		pcfg.ConsumerNames = make([]string, len(cfgs))
+		for i := range cfgs {
+			pcfg.ConsumerNames[i] = fmt.Sprintf("%s/cell%d", data.Spec.Name, i)
+		}
+	}
+	results, err := analysis.SweepWith(pcfg, cfgs, stream.TraceSource(data.Trace))
 	if err != nil {
 		return nil, fmt.Errorf("experiments: sweeping %s: %w", data.Spec.Name, err)
 	}

@@ -62,7 +62,7 @@ func Sensitivity(w *Workspace) (Table, error) {
 			// the same single-pass evaluator as Figures 7-10, one walk of
 			// this cell's trace.
 			cfg := paperTSEConfig(sub, data.Generator.Timing().Lookahead)
-			cells, err := sweepCells(data, []tse.Config{cfg})
+			cells, err := sweepCells(w, data, []tse.Config{cfg})
 			if err != nil {
 				return column{}, err
 			}

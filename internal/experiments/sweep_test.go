@@ -77,7 +77,7 @@ func TestSweepCellsMatchesPerCell(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfgs := fig7Configs(w)
-	cells, err := sweepCells(data, cfgs)
+	cells, err := sweepCells(w, data, cfgs)
 	if err != nil {
 		t.Fatal(err)
 	}

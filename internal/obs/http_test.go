@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+// TestServeDebug: the debug endpoint serves a live registry snapshot at
+// /metrics and the pprof index, and shuts down cleanly.
+func TestServeDebug(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pipeline.events_decoded").Add(42)
+	addr, shutdown, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("/metrics is not valid JSON: %v\n%s", err, body)
+	}
+	if snap.Counters["pipeline.events_decoded"] != 42 {
+		t.Fatalf("/metrics snapshot = %+v", snap)
+	}
+
+	resp, err = http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", resp.StatusCode)
+	}
+}
+
+// TestServeDebugBadAddr: a bad listen address fails synchronously.
+func TestServeDebugBadAddr(t *testing.T) {
+	if _, _, err := ServeDebug("256.256.256.256:99999", nil); err == nil {
+		t.Fatal("bad address did not error")
+	}
+}

@@ -1,0 +1,254 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestCounterGaugeBasics pins the elementary metric semantics.
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	if r.Counter("c") != c {
+		t.Fatal("Counter is not lookup-or-create: second handle differs")
+	}
+
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	g.SetMax(2)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("SetMax lowered the gauge to %d", got)
+	}
+	g.SetMax(9)
+	if got := g.Value(); got != 9 {
+		t.Fatalf("SetMax(9) = %d, want 9", got)
+	}
+}
+
+// TestHistogramBucketEdges pins the log-bucket boundaries: bucket 0 holds
+// exactly 0, bucket i holds [2^(i-1), 2^i-1], and the top bucket absorbs
+// MaxUint64.
+func TestHistogramBucketEdges(t *testing.T) {
+	cases := []struct {
+		v  uint64
+		le uint64
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 3},
+		{3, 3},
+		{4, 7},
+		{7, 7},
+		{8, 15},
+		{1 << 20, 1<<21 - 1},
+		{1<<21 - 1, 1<<21 - 1},
+		{1 << 63, math.MaxUint64},
+		{math.MaxUint64, math.MaxUint64},
+	}
+	for _, tc := range cases {
+		var h Histogram
+		h.Observe(tc.v)
+		s := h.snapshot()
+		if s.Count != 1 || s.Sum != tc.v {
+			t.Fatalf("Observe(%d): count=%d sum=%d", tc.v, s.Count, s.Sum)
+		}
+		if len(s.Buckets) != 1 || s.Buckets[0].Le != tc.le || s.Buckets[0].N != 1 {
+			t.Fatalf("Observe(%d): buckets=%+v, want one bucket le=%d", tc.v, s.Buckets, tc.le)
+		}
+	}
+}
+
+// TestHistogramMean covers the aggregate fields over several observations.
+func TestHistogramMean(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{1, 2, 3, 10} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	if s.Count != 4 || s.Sum != 16 {
+		t.Fatalf("count=%d sum=%d, want 4/16", s.Count, s.Sum)
+	}
+	if got := s.Mean(); got != 4 {
+		t.Fatalf("mean=%g, want 4", got)
+	}
+	if (HistogramSnapshot{}).Mean() != 0 {
+		t.Fatal("empty snapshot mean should be 0")
+	}
+}
+
+// TestSnapshotDeterminism: registering the same metrics in different orders
+// and snapshotting twice must produce byte-identical JSON.
+func TestSnapshotDeterminism(t *testing.T) {
+	build := func(order []string) *Registry {
+		r := NewRegistry()
+		for _, name := range order {
+			r.Counter("count." + name).Add(uint64(len(name)))
+			r.Gauge("gauge." + name).Set(int64(len(name)))
+			r.Histogram("hist." + name).Observe(uint64(len(name)))
+		}
+		return r
+	}
+	a := build([]string{"alpha", "beta", "gamma"})
+	b := build([]string{"gamma", "alpha", "beta"})
+
+	marshal := func(r *Registry) []byte {
+		var buf bytes.Buffer
+		if err := r.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	ja, jb := marshal(a), marshal(b)
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("snapshots of equal state differ:\n%s\n--\n%s", ja, jb)
+	}
+	if !bytes.Equal(marshal(a), ja) {
+		t.Fatal("re-snapshotting unchanged state changed the bytes")
+	}
+
+	var decoded Snapshot
+	if err := json.Unmarshal(ja, &decoded); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if decoded.Counters["count.alpha"] != 5 {
+		t.Fatalf("count.alpha = %d, want 5", decoded.Counters["count.alpha"])
+	}
+	if decoded.Histograms["hist.beta"].Count != 1 {
+		t.Fatalf("hist.beta count = %d, want 1", decoded.Histograms["hist.beta"].Count)
+	}
+}
+
+// TestConcurrentCounters hammers one counter, one gauge and one histogram
+// from many goroutines; run under -race in CI. The final counter and
+// histogram totals are exact because the operations are atomic.
+func TestConcurrentCounters(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("shared")
+			g := r.Gauge("peak")
+			h := r.Histogram("values")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.SetMax(int64(w*perWorker + i))
+				h.Observe(uint64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if got := s.Counters["shared"]; got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := s.Gauges["peak"]; got != workers*perWorker-1 {
+		t.Fatalf("peak gauge = %d, want %d", got, workers*perWorker-1)
+	}
+	if got := s.Histograms["values"].Count; got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestNilRegistryIsNoop: the nil registry and its nil handles are safe and
+// inert, and snapshots of it are valid (empty) JSON.
+func TestNilRegistryIsNoop(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(10)
+	if c.Value() != 0 {
+		t.Fatal("nil counter accumulated")
+	}
+	g := r.Gauge("y")
+	g.Set(5)
+	g.Add(1)
+	g.SetMax(9)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge accumulated")
+	}
+	h := r.Histogram("z")
+	h.Observe(123)
+	if r.Names() != nil {
+		t.Fatal("nil registry has names")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("nil registry WriteJSON: %v", err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("nil registry snapshot is not JSON: %v", err)
+	}
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+}
+
+// TestNopAllocs pins the no-op default to zero allocations: every metric
+// operation on nil handles, and Begin on the nil tracer, must not allocate.
+// This is the property that lets the pipeline instrument unconditionally —
+// the disabled path costs a nil check, not garbage.
+func TestNopAllocs(t *testing.T) {
+	var r *Registry
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		c := r.Counter("c")
+		c.Inc()
+		c.Add(3)
+		g := r.Gauge("g")
+		g.Set(1)
+		g.SetMax(2)
+		h := r.Histogram("h")
+		h.Observe(7)
+		sp := tr.Begin("x", "y", 0)
+		sp.End()
+		var p *Progress
+		p.Stop()
+	})
+	if allocs != 0 {
+		t.Fatalf("no-op instrumentation allocates %v B-ish allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkNop is the CI-visible form of TestNopAllocs: the disabled
+// instrumentation path at 0 B/op, 0 allocs/op.
+func BenchmarkNop(b *testing.B) {
+	b.ReportAllocs()
+	var r *Registry
+	var tr *Tracer
+	for i := 0; i < b.N; i++ {
+		c := r.Counter("c")
+		c.Inc()
+		r.Gauge("g").SetMax(int64(i))
+		r.Histogram("h").Observe(uint64(i))
+		tr.Begin("x", "y", 0).End()
+	}
+}
+
+// BenchmarkEnabled measures the enabled fast path (pre-resolved handles, as
+// the pipeline uses them): one atomic op per call.
+func BenchmarkEnabled(b *testing.B) {
+	b.ReportAllocs()
+	r := NewRegistry()
+	c := r.Counter("c")
+	h := r.Histogram("h")
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		h.Observe(uint64(i))
+	}
+}

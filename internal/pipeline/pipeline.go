@@ -42,7 +42,9 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"tsm/internal/obs"
 	"tsm/internal/stream"
 	"tsm/internal/trace"
 )
@@ -108,6 +110,19 @@ type Config struct {
 	ChunkBuffer int
 	// Strategy selects the broadcast mechanism (default Ring).
 	Strategy Strategy
+	// Metrics, when non-nil, receives the engine's counters, gauges and
+	// backpressure histograms under the "pipeline." prefix (see obs.go for
+	// the full name list). Nil — the default — disables metric collection
+	// entirely: the hot paths then perform a pointer check and nothing else.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, receives one span per stage: the decode pass and
+	// each decoded chunk on lane 0, every consumer on its own lane. Nil
+	// disables tracing.
+	Tracer *obs.Tracer
+	// ConsumerNames optionally labels consumers (sweep cells, model names)
+	// in metrics and trace lanes; consumers beyond the list — or empty
+	// entries — fall back to their index.
+	ConsumerNames []string
 }
 
 func (c Config) normalize() Config {
@@ -143,6 +158,8 @@ type chanSource struct {
 	cur []trace.Event
 	pos int
 	err error
+	o   *engineObs
+	id  int
 }
 
 // Next implements stream.Source.
@@ -151,7 +168,21 @@ func (s *chanSource) Next() (trace.Event, error) {
 		return trace.Event{}, s.err
 	}
 	for s.pos >= len(s.cur) {
-		it, ok := <-s.ch
+		var it item
+		var ok bool
+		if s.o.enabled() {
+			// Receive without blocking when a chunk is already buffered;
+			// otherwise time the wait — that is this consumer's stall.
+			select {
+			case it, ok = <-s.ch:
+			default:
+				t0 := time.Now()
+				it, ok = <-s.ch
+				s.o.consumerStall(s.id, time.Since(t0))
+			}
+		} else {
+			it, ok = <-s.ch
+		}
 		if !ok {
 			s.err = io.EOF
 			return trace.Event{}, io.EOF
@@ -161,6 +192,9 @@ func (s *chanSource) Next() (trace.Event, error) {
 			return trace.Event{}, it.err
 		}
 		s.cur, s.pos = it.events, 0
+		// Cursor lag for the channel strategy is the chunks still buffered
+		// behind the producer after this receive.
+		s.o.consumerChunk(s.id, len(it.events), uint64(len(s.ch)))
 	}
 	e := s.cur[s.pos]
 	s.pos++
@@ -182,18 +216,34 @@ func (c Config) Run(src stream.Source, consumers ...Consumer) error {
 	case 0:
 		return nil
 	case 1:
-		return consumers[0].Run(src)
+		o := c.newObs(1)
+		if o == nil {
+			return consumers[0].Run(src)
+		}
+		start := time.Now()
+		sp := o.beginSpan(o.consumers[0].label, "consumer", 1)
+		counted := &singleSource{src: src, o: o}
+		err := consumers[0].Run(counted)
+		counted.flush()
+		o.producerDone(time.Since(start))
+		o.consumerSpanEnd(0, sp)
+		o.runDone(start)
+		return err
 	}
 	c = c.normalize()
-	if c.Strategy == Ring {
-		return c.runRing(src, consumers)
+	o := c.newObs(len(consumers))
+	if o.enabled() {
+		defer o.runDone(time.Now())
 	}
-	return c.runChannels(src, consumers)
+	if c.Strategy == Ring {
+		return c.runRing(src, consumers, o)
+	}
+	return c.runChannels(src, consumers, o)
 }
 
 // runChannels is Config.Run's channel strategy: per-consumer bounded
 // channels, one send per consumer per chunk.
-func (c Config) runChannels(src stream.Source, consumers []Consumer) error {
+func (c Config) runChannels(src stream.Source, consumers []Consumer, o *engineObs) error {
 	chans := make([]chan item, len(consumers))
 	for i := range chans {
 		chans[i] = make(chan item, c.ChunkBuffer)
@@ -205,9 +255,28 @@ func (c Config) runChannels(src stream.Source, consumers []Consumer) error {
 	// broadcast delivers one chunk to every consumer, honouring
 	// backpressure; it reports false once a cancellation makes further
 	// decoding pointless (the stop channel only ever unblocks the PRODUCER —
-	// consumers learn of every ending in band, via sendAll).
+	// consumers learn of every ending in band, via sendAll). With metrics
+	// attached, a send that cannot complete immediately is timed: that block
+	// is the producer's backpressure wait on a full consumer channel.
 	broadcast := func(it item) bool {
 		for _, ch := range chans {
+			if o.enabled() {
+				select {
+				case ch <- it:
+					continue
+				case <-stop:
+					return false
+				default:
+				}
+				t0 := time.Now()
+				select {
+				case ch <- it:
+					o.producerStall(time.Since(t0))
+				case <-stop:
+					return false
+				}
+				continue
+			}
 			select {
 			case ch <- it:
 			case <-stop:
@@ -240,12 +309,28 @@ func (c Config) runChannels(src stream.Source, consumers []Consumer) error {
 				close(ch)
 			}
 		}()
+		var start time.Time
+		if o.enabled() {
+			start = time.Now()
+		}
+		var total uint64
+		sp := o.beginSpan("decode", "pipeline", 0)
+		defer func() {
+			o.producerDone(time.Since(start))
+			if sp != nil {
+				sp.Arg("events", total).End()
+			}
+		}()
 		for {
 			select {
 			case <-stop:
 				sendAll(item{err: ErrCanceled})
 				return
 			default:
+			}
+			var csp *obs.SpanHandle
+			if o.tracing() {
+				csp = o.tracer.Begin("chunk", "decode", 0)
 			}
 			chunk := make([]trace.Event, 0, c.ChunkEvents)
 			var terminal error
@@ -257,9 +342,14 @@ func (c Config) runChannels(src stream.Source, consumers []Consumer) error {
 				}
 				chunk = append(chunk, e)
 			}
-			if len(chunk) > 0 && !broadcast(item{events: chunk}) {
-				sendAll(item{err: ErrCanceled})
-				return
+			if len(chunk) > 0 {
+				total += uint64(len(chunk))
+				o.decoded(len(chunk))
+				csp.Arg("events", len(chunk)).End()
+				if !broadcast(item{events: chunk}) {
+					sendAll(item{err: ErrCanceled})
+					return
+				}
 			}
 			if terminal == io.EOF {
 				return // closing the channels is the consumers' io.EOF
@@ -281,7 +371,9 @@ func (c Config) runChannels(src stream.Source, consumers []Consumer) error {
 		wg.Add(1)
 		go func(i int, consumer Consumer) {
 			defer wg.Done()
-			err := consumer.Run(&chanSource{ch: chans[i]})
+			sp := o.beginSpan(o.label(i), "consumer", i+1)
+			err := consumer.Run(&chanSource{ch: chans[i], o: o, id: i})
+			o.consumerSpanEnd(i, sp)
 			errs[i] = err
 			if err != nil && !errors.Is(err, ErrCanceled) {
 				cancel()

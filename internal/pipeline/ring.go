@@ -31,7 +31,9 @@ import (
 	"errors"
 	"io"
 	"sync"
+	"time"
 
+	"tsm/internal/obs"
 	"tsm/internal/stream"
 	"tsm/internal/trace"
 )
@@ -56,14 +58,17 @@ type ringState struct {
 	closed   bool  // no more chunks will be published
 	terminal error // ending observed after draining (nil means io.EOF)
 	stopped  bool  // cancellation: the producer must stop decoding
+
+	o *engineObs // nil when the run is un-instrumented
 }
 
-func newRingState(capacity, consumers int) *ringState {
+func newRingState(capacity, consumers int, o *engineObs) *ringState {
 	r := &ringState{
 		slots:    make([][]trace.Event, capacity),
 		taken:    make([]uint64, consumers),
 		released: make([]uint64, consumers),
 		done:     make([]bool, consumers),
+		o:        o,
 	}
 	r.notFull = sync.NewCond(&r.mu)
 	r.notEmpty = sync.NewCond(&r.mu)
@@ -90,6 +95,7 @@ func (r *ringState) minReleased() uint64 {
 func (r *ringState) buffer(chunkEvents int) ([]trace.Event, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	var waited time.Duration
 	for {
 		if r.stopped || r.ndone == len(r.done) {
 			return nil, false
@@ -97,8 +103,17 @@ func (r *ringState) buffer(chunkEvents int) ([]trace.Event, bool) {
 		if r.head-r.minReleased() < uint64(len(r.slots)) {
 			break
 		}
-		r.notFull.Wait()
+		if r.o.enabled() {
+			// The producer is throttled by the slowest live cursor holding
+			// this slot: that wait is the ring's backpressure stall.
+			t0 := time.Now()
+			r.notFull.Wait()
+			waited += time.Since(t0)
+		} else {
+			r.notFull.Wait()
+		}
 	}
+	r.o.producerStall(waited)
 	slot := &r.slots[r.head%uint64(len(r.slots))]
 	if cap(*slot) < chunkEvents {
 		*slot = make([]trace.Event, 0, chunkEvents)
@@ -117,6 +132,9 @@ func (r *ringState) publish(events []trace.Event) bool {
 	}
 	r.slots[r.head%uint64(len(r.slots))] = events
 	r.head++
+	if r.o.enabled() {
+		r.o.ringOccupancy(r.head - r.minReleased())
+	}
 	r.notEmpty.Broadcast()
 	return true
 }
@@ -170,12 +188,23 @@ func (r *ringState) take(id int) (events []trace.Event, err error, ok bool) {
 		r.released[id] = r.taken[id]
 		r.notFull.Signal()
 	}
+	var waited time.Duration
 	for r.taken[id] == r.head && !r.closed {
-		r.notEmpty.Wait()
+		if r.o.enabled() {
+			t0 := time.Now()
+			r.notEmpty.Wait()
+			waited += time.Since(t0)
+		} else {
+			r.notEmpty.Wait()
+		}
 	}
+	r.o.consumerStall(id, waited)
 	if r.taken[id] < r.head {
+		// Cursor lag: chunks published ahead of this cursor before the take.
+		lag := r.head - r.taken[id]
 		ev := r.slots[r.taken[id]%uint64(len(r.slots))]
 		r.taken[id]++
+		r.o.consumerChunk(id, len(ev), lag)
 		return ev, nil, true
 	}
 	return nil, r.terminal, false
@@ -217,19 +246,35 @@ func (s *ringSource) Next() (trace.Event, error) {
 
 // runRing is Config.Run's ring strategy (two or more consumers; the 0/1
 // fast paths are shared with the channel strategy).
-func (c Config) runRing(src stream.Source, consumers []Consumer) error {
-	r := newRingState(c.ChunkBuffer, len(consumers))
+func (c Config) runRing(src stream.Source, consumers []Consumer, o *engineObs) error {
+	r := newRingState(c.ChunkBuffer, len(consumers), o)
 	var wg sync.WaitGroup
 
 	// Producer: the single decode pass, filling reusable ring slots.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
+		var start time.Time
+		if o.enabled() {
+			start = time.Now()
+		}
+		var total uint64
+		sp := o.beginSpan("decode", "pipeline", 0)
+		defer func() {
+			o.producerDone(time.Since(start))
+			if sp != nil {
+				sp.Arg("events", total).End()
+			}
+		}()
 		for {
 			chunk, ok := r.buffer(c.ChunkEvents)
 			if !ok {
 				r.close(ErrCanceled)
 				return
+			}
+			var csp *obs.SpanHandle
+			if o.tracing() {
+				csp = o.tracer.Begin("chunk", "decode", 0)
 			}
 			var terminal error
 			for len(chunk) < c.ChunkEvents {
@@ -240,9 +285,14 @@ func (c Config) runRing(src stream.Source, consumers []Consumer) error {
 				}
 				chunk = append(chunk, e)
 			}
-			if len(chunk) > 0 && !r.publish(chunk) {
-				r.close(ErrCanceled)
-				return
+			if len(chunk) > 0 {
+				total += uint64(len(chunk))
+				o.decoded(len(chunk))
+				csp.Arg("events", len(chunk)).End()
+				if !r.publish(chunk) {
+					r.close(ErrCanceled)
+					return
+				}
 			}
 			if terminal == io.EOF {
 				r.close(nil) // a clean end: consumers drain, then see io.EOF
@@ -263,7 +313,9 @@ func (c Config) runRing(src stream.Source, consumers []Consumer) error {
 		wg.Add(1)
 		go func(i int, consumer Consumer) {
 			defer wg.Done()
+			sp := o.beginSpan(o.label(i), "consumer", i+1)
 			err := consumer.Run(&ringSource{r: r, id: i})
+			o.consumerSpanEnd(i, sp)
 			errs[i] = err
 			if err != nil && !errors.Is(err, ErrCanceled) {
 				r.cancel()

@@ -70,7 +70,7 @@ func TestRingSlotReuse(t *testing.T) {
 
 	// Drive the ring state machine directly (the same calls runRing makes)
 	// so the final ringState stays observable after the run.
-	r := newRingState(ringChunks, 2)
+	r := newRingState(ringChunks, 2, nil)
 	done := make(chan error, 2)
 	for id := 0; id < 2; id++ {
 		go func(id int) {

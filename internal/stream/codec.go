@@ -30,6 +30,7 @@ import (
 	"math"
 	"os"
 	"strings"
+	"sync/atomic"
 
 	"tsm/internal/mem"
 	"tsm/internal/trace"
@@ -389,10 +390,27 @@ func WriteFile(path string, meta Meta, src Source) (n uint64, err error) {
 	return n, w.Close()
 }
 
+// countingReader counts the bytes handed to the decode buffer with an
+// atomic, so another goroutine (a progress meter) can read the position
+// without racing the decoding goroutine — unlike Seek-based position
+// queries, which would.
+type countingReader struct {
+	r io.Reader
+	n atomic.Uint64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(uint64(n))
+	return n, err
+}
+
 // FileReader is a Reader over an open trace file.
 type FileReader struct {
 	*Reader
-	f *os.File
+	f     *os.File
+	count *countingReader
+	size  int64
 }
 
 // OpenFile opens path for streaming reads. The caller must Close it.
@@ -401,12 +419,32 @@ func OpenFile(path string) (*FileReader, error) {
 	if err != nil {
 		return nil, err
 	}
-	r, err := NewReader(f)
+	var size int64
+	if st, err := f.Stat(); err == nil {
+		size = st.Size()
+	}
+	count := &countingReader{r: f}
+	r, err := NewReader(count)
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
-	return &FileReader{Reader: r, f: f}, nil
+	return &FileReader{Reader: r, f: f, count: count, size: size}, nil
+}
+
+// Fraction reports the file fraction consumed by the decoder so far, in
+// [0, 1] — suitable as a completion estimate for progress/ETA reporting.
+// Safe to call from any goroutine while another decodes; returns 0 when the
+// file size is unknown.
+func (r *FileReader) Fraction() float64 {
+	if r.size <= 0 {
+		return 0
+	}
+	f := float64(r.count.n.Load()) / float64(r.size)
+	if f > 1 {
+		f = 1
+	}
+	return f
 }
 
 // Close closes the underlying file.

@@ -1,0 +1,142 @@
+package tsm
+
+// Observability facade: metrics, stage tracing and progress reporting for
+// the replay/sweep engine, re-exported from internal/obs so callers of the
+// public API (and the CLIs) can attach instrumentation without importing
+// internal packages. Everything is opt-in — the zero Instrumentation is a
+// no-op and costs the un-instrumented paths nothing (a nil pointer check,
+// pinned to zero allocations by the obs tests).
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"time"
+
+	"tsm/internal/obs"
+	"tsm/internal/pipeline"
+	"tsm/internal/stream"
+)
+
+// Metrics is a registry of atomic counters, gauges and log-bucket
+// histograms. Attach one via Instrumentation to collect the replay engine's
+// counters (see internal/pipeline's metric-name table); snapshot it with
+// WriteJSON/WriteFile. Safe for concurrent use.
+type Metrics = obs.Registry
+
+// MetricsSnapshot is the JSON shape a Metrics registry snapshots to.
+type MetricsSnapshot = obs.Snapshot
+
+// Tracer records lightweight stage spans (decode pass, per-chunk decodes,
+// per-consumer runs) and exports them in the Chrome trace-event format:
+// load the file at chrome://tracing or https://ui.perfetto.dev. Safe for
+// concurrent use.
+type Tracer = obs.Tracer
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// NewTracer returns an empty stage tracer.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// Instrumentation bundles the optional observability attachments of one
+// replay or sweep call. The zero value disables everything; each field is
+// independent, so any subset may be set.
+type Instrumentation struct {
+	// Metrics, when non-nil, collects the engine's counters, gauges and
+	// backpressure histograms for the call.
+	Metrics *Metrics
+	// Tracer, when non-nil, records one span per pipeline stage.
+	Tracer *Tracer
+	// Progress, when non-nil, receives periodic one-line throughput/ETA
+	// reports during the call (the CLIs pass os.Stderr, keeping stdout
+	// reports byte-identical to un-instrumented runs).
+	Progress io.Writer
+	// ProgressInterval overrides the reporting period (default 2s).
+	ProgressInterval time.Duration
+}
+
+// pipelineConfig builds the engine configuration carrying the attachments.
+// The returned registry is the one the engine will write to: normally
+// ins.Metrics, but a Progress-only instrumentation gets a private registry
+// so the meter has a decode counter to watch.
+func (ins Instrumentation) pipelineConfig(names []string) (pipeline.Config, *Metrics) {
+	m := ins.Metrics
+	if m == nil && ins.Progress != nil {
+		m = NewMetrics()
+	}
+	return pipeline.Config{Metrics: m, Tracer: ins.Tracer, ConsumerNames: names}, m
+}
+
+// startProgress launches the progress meter when requested (nil otherwise —
+// and the nil Progress handle's Stop is a no-op).
+func (ins Instrumentation) startProgress(label string, m *Metrics, fraction func() float64) *obs.Progress {
+	if ins.Progress == nil {
+		return nil
+	}
+	return obs.StartProgress(obs.ProgressConfig{
+		W:        ins.Progress,
+		Label:    label,
+		Events:   m.Counter("pipeline.events_decoded"),
+		Fraction: fraction,
+		Interval: ins.ProgressInterval,
+	})
+}
+
+// tseConsumerNames labels the three consumers of the TSE evaluation fan-out
+// in metrics and trace lanes.
+func tseConsumerNames() []string { return []string{"coverage", "timing-base", "timing-tse"} }
+
+// EvaluateTSEFileObserved is EvaluateTSEFile with instrumentation attached:
+// the same fused single-decode replay, reporting what it did through the
+// configured metrics registry, stage tracer and progress writer.
+func EvaluateTSEFileObserved(path string, ins Instrumentation) (Report, error) {
+	f, err := stream.OpenFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	pcfg, m := ins.pipelineConfig(tseConsumerNames())
+	p := ins.startProgress("replay "+filepath.Base(path), m, f.Fraction)
+	rep, err := evaluateTSESourceWith(pcfg, f, f.Meta())
+	p.Stop()
+	if err = stream.CloseMerge(f, err); err != nil {
+		return Report{}, fmt.Errorf("tsm: replaying %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// EvaluateAllFileObserved is EvaluateAllFile with instrumentation attached
+// (see EvaluateTSEFileObserved); the consumers are labelled with their
+// model names.
+func EvaluateAllFileObserved(path string, ins Instrumentation) ([]Report, error) {
+	f, err := stream.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	pcfg, m := ins.pipelineConfig(nil) // names resolved from the model specs
+	p := ins.startProgress("replay "+filepath.Base(path), m, f.Fraction)
+	reports, err := evaluateAllSourceWith(pcfg, f, f.Meta())
+	p.Stop()
+	if err = stream.CloseMerge(f, err); err != nil {
+		return nil, fmt.Errorf("tsm: replaying %s: %w", path, err)
+	}
+	return reports, nil
+}
+
+// EvaluateTSESweepFileObserved is EvaluateTSESweepFile with instrumentation
+// attached: per-cell consumer throughput lands in the metrics registry and
+// one trace lane per sweep cell, labelled with the cell labels ("LA=8").
+func EvaluateTSESweepFileObserved(path, sweep string, ins Instrumentation) ([]SweepCell, error) {
+	f, err := stream.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	pcfg, m := ins.pipelineConfig(nil) // names resolved from the cell labels
+	p := ins.startProgress("sweep "+filepath.Base(path), m, f.Fraction)
+	cells, err := evaluateTSESweepSourceWith(pcfg, f, f.Meta(), sweep)
+	p.Stop()
+	if err = stream.CloseMerge(f, err); err != nil {
+		return nil, fmt.Errorf("tsm: sweeping %s: %w", path, err)
+	}
+	return cells, nil
+}

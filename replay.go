@@ -70,6 +70,9 @@ func evaluateTSESourceWith(pcfg pipeline.Config, src EventSource, meta TraceMeta
 	if err != nil {
 		return Report{}, err
 	}
+	if pcfg.ConsumerNames == nil {
+		pcfg.ConsumerNames = tseConsumerNames()
+	}
 	cfg := tseConfig(gen, opts)
 	cov := analysis.NewTSEConsumer(cfg)
 	params := timingParams(gen, opts)
@@ -107,6 +110,13 @@ func EvaluateTSEFile(path string) (Report, error) {
 // to EvaluateAll (and therefore to the serial ComparePrefetchers) over the
 // equivalent in-memory trace, in the same order.
 func EvaluateAllSource(src EventSource, meta TraceMeta) ([]Report, error) {
+	return evaluateAllSourceWith(pipeline.Config{}, src, meta)
+}
+
+// evaluateAllSourceWith is EvaluateAllSource under an explicit pipeline
+// configuration — the observability seam. Consumers default to their model
+// names in metrics and trace lanes.
+func evaluateAllSourceWith(pcfg pipeline.Config, src EventSource, meta TraceMeta) ([]Report, error) {
 	gen, opts, err := replayContext(meta)
 	if err != nil {
 		return nil, err
@@ -115,13 +125,18 @@ func EvaluateAllSource(src EventSource, meta TraceMeta) ([]Report, error) {
 	specs := analysis.BaselineSpecs(opts.Nodes)
 	models := make([]*analysis.ModelConsumer, len(specs))
 	consumers := make([]pipeline.Consumer, 0, len(specs)+1)
+	names := make([]string, 0, len(specs)+1)
 	for i, spec := range specs {
 		models[i] = analysis.NewModelConsumer(spec.New())
 		consumers = append(consumers, models[i])
+		names = append(names, spec.Name)
 	}
 	tseCov := analysis.NewTSEConsumer(cfg)
 	consumers = append(consumers, tseCov)
-	if err := pipeline.Run(src, consumers...); err != nil {
+	if pcfg.ConsumerNames == nil {
+		pcfg.ConsumerNames = append(names, "TSE")
+	}
+	if err := pcfg.Run(src, consumers...); err != nil {
 		return nil, err
 	}
 	reports := make([]Report, 0, len(consumers))

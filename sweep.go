@@ -16,6 +16,7 @@ import (
 
 	"tsm/internal/analysis"
 	"tsm/internal/experiments"
+	"tsm/internal/pipeline"
 	"tsm/internal/stream"
 	"tsm/internal/tse"
 )
@@ -95,6 +96,13 @@ func sweepConfigs(sweep string, gen Generator, opts Options) ([]string, []tse.Co
 // embedded in trace files); the per-cell reports are bit-identical to
 // evaluating each cell's configuration independently.
 func EvaluateTSESweepSource(src EventSource, meta TraceMeta, sweep string) ([]SweepCell, error) {
+	return evaluateTSESweepSourceWith(pipeline.Config{}, src, meta, sweep)
+}
+
+// evaluateTSESweepSourceWith is EvaluateTSESweepSource under an explicit
+// pipeline configuration — the observability seam. Cell consumers default to
+// their sweep labels in metrics and trace lanes.
+func evaluateTSESweepSourceWith(pcfg pipeline.Config, src EventSource, meta TraceMeta, sweep string) ([]SweepCell, error) {
 	gen, opts, err := replayContext(meta)
 	if err != nil {
 		return nil, err
@@ -103,7 +111,10 @@ func EvaluateTSESweepSource(src EventSource, meta TraceMeta, sweep string) ([]Sw
 	if err != nil {
 		return nil, err
 	}
-	results, err := analysis.Sweep(cfgs, src)
+	if pcfg.ConsumerNames == nil {
+		pcfg.ConsumerNames = labels
+	}
+	results, err := analysis.SweepWith(pcfg, cfgs, src)
 	if err != nil {
 		return nil, err
 	}
