@@ -713,6 +713,23 @@ func BenchmarkFileReplay(b *testing.B) {
 			b.ReportMetric(1, "decode_passes")
 		}
 	})
+	// The fused path with the decode side itself parallelised over the v3
+	// chunk index: still one decode pass, split across per-chunk workers.
+	// Identical reports at any worker count; the delta is decode wall time.
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("fused-decode%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := EvaluateTSEFileWith(path, ReplayConfig{DecodeWorkers: workers}, Instrumentation{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(100*rep.Coverage, "coverage_pct")
+				b.ReportMetric(1, "decode_passes")
+				b.ReportMetric(float64(workers), "decode_workers")
+			}
+		})
+	}
 	// The fused path under the channels broadcast (the pre-ring reference):
 	// same single decode, one channel send per consumer per chunk instead of
 	// the shared ring. Identical reports; the delta is broadcast cost.
@@ -760,4 +777,66 @@ func BenchmarkFileReplay(b *testing.B) {
 			b.ReportMetric(1, "decode_passes")
 		}
 	})
+}
+
+// BenchmarkParallelDecode isolates the decode side: drain a trace file
+// through the indexed per-chunk worker pool at 1 and 4 workers, with
+// allocation reporting — the free-list recycling must keep allocs/op
+// O(workers·chunk), independent of how many chunks the file has (the CI
+// bench gate greps these numbers).
+func BenchmarkParallelDecode(b *testing.B) {
+	opts := Options{Nodes: 16, Scale: *benchScale, Seed: 1}
+	tr, gen, err := GenerateTrace("db2", opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := b.TempDir() + "/db2.tsm"
+	if err := SaveTrace(path, tr, gen, opts); err != nil {
+		b.Fatal(err)
+	}
+	drain := func(b *testing.B, src EventSource) uint64 {
+		var n uint64
+		for {
+			_, err := src.Next()
+			if err == io.EOF {
+				return n
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			n++
+		}
+	}
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f, err := stream.OpenFile(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := drain(b, f)
+			if err := f.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(n), "events")
+		}
+	})
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				f, err := stream.OpenFileParallel(path, stream.ParallelOptions{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				n := drain(b, f)
+				if err := f.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(n), "events")
+				b.ReportMetric(float64(workers), "decode_workers")
+			}
+		})
+	}
 }

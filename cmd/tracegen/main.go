@@ -26,6 +26,9 @@
 // -pprof serves net/http/pprof for the duration of the run. -materialize
 // restores the reference path that builds the access slice first
 // (byte-identical output; it exists for differential testing and CI).
+// -no-index writes the previous codec version (2), without the seekable
+// chunk index appended to version 3 files — for compatibility testing and
+// consumers that cannot tolerate the footer.
 package main
 
 import (
@@ -64,6 +67,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		out         = fs.String("o", "", "output trace file (.tsm; omit to skip writing)")
 		summary     = fs.Bool("summary", true, "print a trace summary")
 		materialize = fs.Bool("materialize", false, "materialize the access stream before classifying (reference path, identical bytes)")
+		noIndex     = fs.Bool("no-index", false, "write codec version 2 (no seekable chunk index; disables tsesim -decode-workers/-from/-to on the file)")
 		metricsOut  = fs.String("metrics", "", "write generation counters (JSON) to this file after the run")
 		progress    = fs.Bool("progress", false, "print periodic events/sec lines to stderr during generation")
 		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this address for the duration of the run")
@@ -172,7 +176,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var runErr error
 	if *out != "" {
 		meta := stream.Meta{Workload: spec.Name, Nodes: *nodes, Scale: cfg.Scale, Seed: *seed, Repeat: cfg.Repeat}
-		runErr = writeStreamed(*out, meta, eng, src, observe)
+		version := byte(stream.Version)
+		if *noIndex {
+			version = stream.VersionNoIndex
+		}
+		runErr = writeStreamed(*out, meta, version, eng, src, observe)
 	} else {
 		runErr = eng.RunSource(src, func(e trace.Event) error { observe(e); return nil })
 	}
@@ -211,13 +219,13 @@ func checkWritable(path string) error {
 
 // writeStreamed pipes the engine's event stream into a trace file, feeding
 // each event to observe on the way past.
-func writeStreamed(path string, meta stream.Meta, eng *coherence.Engine, src coherence.AccessSource, observe func(trace.Event)) (err error) {
+func writeStreamed(path string, meta stream.Meta, version byte, eng *coherence.Engine, src coherence.AccessSource, observe func(trace.Event)) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer func() { err = stream.CloseMerge(f, err) }()
-	w, err := stream.NewWriter(f, meta)
+	w, err := stream.NewWriterVersion(f, meta, version)
 	if err != nil {
 		return err
 	}

@@ -11,6 +11,8 @@
 //	tsesim -i db2.tsm                        # evaluate TSE on a trace file
 //	tsesim -i db2.tsm -compare               # ...all Figure 12 models
 //	tsesim -i db2.tsm -sweep lookahead       # whole sensitivity sweep, one decode
+//	tsesim -i db2.tsm -decode-workers 4      # parallel per-chunk decode (v3 files)
+//	tsesim -i db2.tsm -from 500000 -to 900000  # replay an event sub-range via the index
 //	tsesim -i db2.tsm -metrics m.json -trace t.json -progress
 //	tsesim -list                             # list experiments and workloads
 //
@@ -26,6 +28,12 @@
 // entire named sensitivity study (streams|lookahead|svb — the Figure 7/8/9
 // sweeps) with every cell riding that same single decode through the ring
 // fan-out, so a whole sweep costs one codec pass instead of one per cell.
+// Version 3 trace files carry a chunk index: -decode-workers N decodes the
+// file with N parallel per-chunk workers (identical reports, faster wall
+// clock; -1 picks one worker per core), and -from/-to replay only the events
+// with sequence numbers in [from, to) without streaming the prefix. Both fall
+// back gracefully on pre-index files: a parallel request decodes serially,
+// a ranged request fails (the range would otherwise be silently ignored).
 // Batches of experiments run in parallel over a shared workspace (each
 // workload's trace is generated exactly once); -serial restores the
 // one-at-a-time path.
@@ -72,23 +80,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tsesim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		experimentID = fs.String("experiment", "all", "experiment id (fig6..fig14, table1..table3, suite) or \"all\"")
-		workloads    = fs.String("workloads", "", "comma-separated workload subset (default: every registered workload)")
-		nodes        = fs.Int("nodes", 16, "number of DSM nodes")
-		scale        = fs.Float64("scale", 1.0, "workload scale factor")
-		seed         = fs.Int64("seed", 1, "workload generation seed")
-		input        = fs.String("i", "", "evaluate a trace file written by tracegen -o instead of running experiments")
-		compare      = fs.Bool("compare", false, "with -i: evaluate all Figure 12 models, not just TSE")
-		sweep        = fs.String("sweep", "", "with -i: run a named TSE sensitivity sweep (streams|lookahead|svb) over ONE decode of the file")
-		inmem        = fs.Bool("inmem", false, "with -i: materialize the trace instead of streaming it (same reports)")
-		multipass    = fs.Bool("multipass", false, "with -i: decode the file once per consumer instead of fusing into one pass (same reports)")
-		serial       = fs.Bool("serial", false, "run experiments one at a time instead of in parallel")
-		list         = fs.Bool("list", false, "list available experiments and workloads, then exit")
-		quiet        = fs.Bool("quiet", false, "suppress progress messages")
-		metricsOut   = fs.String("metrics", "", "write an engine metrics snapshot (JSON) to this file after the run")
-		traceOut     = fs.String("trace", "", "write per-stage spans (Chrome trace-event JSON) to this file after the run")
-		progress     = fs.Bool("progress", false, "print periodic throughput/ETA lines to stderr during the run")
-		pprofAddr    = fs.String("pprof", "", "serve net/http/pprof (plus /metrics) on this address for the duration of the run")
+		experimentID  = fs.String("experiment", "all", "experiment id (fig6..fig14, table1..table3, suite) or \"all\"")
+		workloads     = fs.String("workloads", "", "comma-separated workload subset (default: every registered workload)")
+		nodes         = fs.Int("nodes", 16, "number of DSM nodes")
+		scale         = fs.Float64("scale", 1.0, "workload scale factor")
+		seed          = fs.Int64("seed", 1, "workload generation seed")
+		input         = fs.String("i", "", "evaluate a trace file written by tracegen -o instead of running experiments")
+		compare       = fs.Bool("compare", false, "with -i: evaluate all Figure 12 models, not just TSE")
+		sweep         = fs.String("sweep", "", "with -i: run a named TSE sensitivity sweep (streams|lookahead|svb) over ONE decode of the file")
+		inmem         = fs.Bool("inmem", false, "with -i: materialize the trace instead of streaming it (same reports)")
+		multipass     = fs.Bool("multipass", false, "with -i: decode the file once per consumer instead of fusing into one pass (same reports)")
+		decodeWorkers = fs.Int("decode-workers", 0, "with -i: parallel per-chunk decode workers over the v3 chunk index (0 = serial, -1 = one per core)")
+		fromEvent     = fs.Uint64("from", 0, "with -i: replay from this event sequence number (inclusive; needs a v3 indexed file)")
+		toEvent       = fs.Uint64("to", 0, "with -i: replay up to this event sequence number (exclusive; 0 = end of trace)")
+		serial        = fs.Bool("serial", false, "run experiments one at a time instead of in parallel")
+		list          = fs.Bool("list", false, "list available experiments and workloads, then exit")
+		quiet         = fs.Bool("quiet", false, "suppress progress messages")
+		metricsOut    = fs.String("metrics", "", "write an engine metrics snapshot (JSON) to this file after the run")
+		traceOut      = fs.String("trace", "", "write per-stage spans (Chrome trace-event JSON) to this file after the run")
+		progress      = fs.Bool("progress", false, "print periodic throughput/ETA lines to stderr during the run")
+		pprofAddr     = fs.String("pprof", "", "serve net/http/pprof (plus /metrics) on this address for the duration of the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -158,9 +169,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	rc := tsm.ReplayConfig{DecodeWorkers: *decodeWorkers, From: *fromEvent, To: *toEvent}
+	if (rc.DecodeWorkers != 0 || rc.From != 0 || rc.To != 0) && *input == "" {
+		fmt.Fprintln(stderr, "tsesim: -decode-workers, -from and -to configure trace-file replay and need -i")
+		return 2
+	}
+
 	if *input != "" {
 		if *inmem && *multipass {
 			fmt.Fprintln(stderr, "tsesim: -inmem and -multipass are mutually exclusive (both are alternatives to the fused streamed path)")
+			return 2
+		}
+		if (rc.DecodeWorkers != 0 || rc.From != 0 || rc.To != 0) && (*inmem || *multipass) {
+			fmt.Fprintln(stderr, "tsesim: -decode-workers, -from and -to ride the fused streamed path and cannot combine with -inmem or -multipass")
+			return 2
+		}
+		if rc.To != 0 && rc.To <= rc.From {
+			fmt.Fprintf(stderr, "tsesim: invalid event range [%d, %d): -to must exceed -from\n", rc.From, rc.To)
 			return 2
 		}
 		if *sweep != "" {
@@ -168,14 +193,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintln(stderr, "tsesim: -sweep runs on the fused single-decode path and cannot combine with -compare, -inmem or -multipass")
 				return 2
 			}
-			if err := sweepTrace(stdout, *input, *sweep, *quiet, ins); err != nil {
+			if err := sweepTrace(stdout, *input, *sweep, *quiet, rc, ins); err != nil {
 				fmt.Fprintf(stderr, "tsesim: %v\n", err)
 				dump()
 				return 1
 			}
 			return dump()
 		}
-		if err := replayTrace(stdout, *input, *compare, *inmem, *multipass, *quiet, ins); err != nil {
+		if err := replayTrace(stdout, *input, *compare, *inmem, *multipass, *quiet, rc, ins); err != nil {
 			fmt.Fprintf(stderr, "tsesim: %v\n", err)
 			dump()
 			return 1
@@ -254,16 +279,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 // the ring fan-out engine, so the whole study costs one codec pass and
 // bounded memory however wide the sweep is. The per-cell reports are
 // bit-identical to evaluating each configuration on its own.
-func sweepTrace(stdout io.Writer, path, sweep string, quiet bool, ins tsm.Instrumentation) error {
+func sweepTrace(stdout io.Writer, path, sweep string, quiet bool, rc tsm.ReplayConfig, ins tsm.Instrumentation) error {
 	start := time.Now()
 	meta, err := tsm.ReplayMeta(path)
 	if err != nil {
 		return err
 	}
 	if !quiet {
-		fmt.Fprintf(stdout, "trace: %s (sweep %s, fused single decode)\n", meta, sweep)
+		fmt.Fprintf(stdout, "trace: %s (sweep %s, fused single decode%s)\n", meta, sweep, replayModeSuffix(rc))
 	}
-	cells, err := tsm.EvaluateTSESweepFileObserved(path, sweep, ins)
+	cells, err := tsm.EvaluateTSESweepFileWith(path, sweep, rc, ins)
 	if err != nil {
 		return err
 	}
@@ -285,9 +310,9 @@ func sweepTrace(stdout io.Writer, path, sweep string, quiet bool, ins tsm.Instru
 // in every mode, memory proportional to the trace only with inmem). The
 // multipass and inmem reference paths predate the fan-out engine and do not
 // carry instrumentation.
-func replayTrace(stdout io.Writer, path string, compare, inmem, multipass, quiet bool, ins tsm.Instrumentation) error {
+func replayTrace(stdout io.Writer, path string, compare, inmem, multipass, quiet bool, rc tsm.ReplayConfig, ins tsm.Instrumentation) error {
 	start := time.Now()
-	mode := "streamed, fused single decode"
+	mode := "streamed, fused single decode" + replayModeSuffix(rc)
 	if multipass {
 		mode = "streamed, decode per consumer"
 	}
@@ -330,14 +355,14 @@ func replayTrace(stdout io.Writer, path string, compare, inmem, multipass, quiet
 		case compare && multipass:
 			reports, err = tsm.EvaluateAllFileMultipass(path)
 		case compare:
-			reports, err = tsm.EvaluateAllFileObserved(path, ins)
+			reports, err = tsm.EvaluateAllFileWith(path, rc, ins)
 		case multipass:
 			var rep tsm.Report
 			rep, err = tsm.EvaluateTSEFileMultipass(path)
 			reports = []tsm.Report{rep}
 		default:
 			var rep tsm.Report
-			rep, err = tsm.EvaluateTSEFileObserved(path, ins)
+			rep, err = tsm.EvaluateTSEFileWith(path, rc, ins)
 			reports = []tsm.Report{rep}
 		}
 		if err != nil {
@@ -351,4 +376,21 @@ func replayTrace(stdout io.Writer, path string, compare, inmem, multipass, quiet
 		fmt.Fprintf(stdout, "(replay completed in %v)\n", time.Since(start).Round(time.Millisecond))
 	}
 	return nil
+}
+
+// replayModeSuffix renders the replay-config part of the mode banner:
+// decode-worker count and event range, when set.
+func replayModeSuffix(rc tsm.ReplayConfig) string {
+	var sb strings.Builder
+	if rc.DecodeWorkers != 0 {
+		fmt.Fprintf(&sb, ", decode-workers=%d", rc.DecodeWorkers)
+	}
+	if rc.From != 0 || rc.To != 0 {
+		if rc.To != 0 {
+			fmt.Fprintf(&sb, ", events [%d, %d)", rc.From, rc.To)
+		} else {
+			fmt.Fprintf(&sb, ", events [%d, end)", rc.From)
+		}
+	}
+	return sb.String()
 }

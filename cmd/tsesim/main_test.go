@@ -203,3 +203,67 @@ func TestRunObservedOutputsIdentical(t *testing.T) {
 		t.Fatalf("instrumentation changed stdout:\nplain:\n%s\nobserved:\n%s", &plain, &observed)
 	}
 }
+
+// TestRunDecodeWorkerFlags pins the CLI contract of the v3-index flags:
+// replay-only (-i required), incompatible with the reference decode paths,
+// and a -to at or below -from is a usage error.
+func TestRunDecodeWorkerFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	cases := [][]string{
+		{"-decode-workers", "4"}, // no -i
+		{"-from", "10"},          // no -i
+		{"-i", "x.tsm", "-decode-workers", "4", "-inmem"},
+		{"-i", "x.tsm", "-from", "10", "-multipass"},
+		{"-i", "x.tsm", "-from", "10", "-to", "5"},
+		{"-i", "x.tsm", "-from", "10", "-to", "10"},
+	}
+	for _, args := range cases {
+		stdout.Reset()
+		stderr.Reset()
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Fatalf("%v exited %d, want 2\nstderr:\n%s", args, code, &stderr)
+		}
+		if !strings.Contains(stderr.String(), "tsesim:") {
+			t.Fatalf("%v: stderr lacks a usage error:\n%s", args, &stderr)
+		}
+	}
+}
+
+// TestRunParallelDecodeMatchesSerial replays the same trace with and without
+// parallel decode and requires byte-identical stdout reports — the worker
+// count must never leak into results.
+func TestRunParallelDecodeMatchesSerial(t *testing.T) {
+	path := writeTestTrace(t)
+	var serialOut, parallelOut, stderr bytes.Buffer
+	if code := run([]string{"-i", path, "-quiet"}, &serialOut, &stderr); code != 0 {
+		t.Fatalf("serial replay exited %d\nstderr:\n%s", code, &stderr)
+	}
+	if code := run([]string{"-i", path, "-quiet", "-decode-workers", "4"}, &parallelOut, &stderr); code != 0 {
+		t.Fatalf("parallel replay exited %d\nstderr:\n%s", code, &stderr)
+	}
+	if serialOut.String() != parallelOut.String() {
+		t.Fatalf("parallel decode changed the report\nserial:\n%s\nparallel:\n%s", &serialOut, &parallelOut)
+	}
+	if !strings.Contains(serialOut.String(), "TSE") {
+		t.Fatalf("replay printed no report:\n%s", &serialOut)
+	}
+}
+
+// TestRunRangedReplay drives -from/-to end to end: a sub-range replays
+// successfully and reports fewer consumptions than the whole trace.
+func TestRunRangedReplay(t *testing.T) {
+	path := writeTestTrace(t)
+	var full, ranged, stderr bytes.Buffer
+	if code := run([]string{"-i", path, "-quiet"}, &full, &stderr); code != 0 {
+		t.Fatalf("full replay exited %d\nstderr:\n%s", code, &stderr)
+	}
+	if code := run([]string{"-i", path, "-quiet", "-from", "100", "-to", "200"}, &ranged, &stderr); code != 0 {
+		t.Fatalf("ranged replay exited %d\nstderr:\n%s", code, &stderr)
+	}
+	if ranged.String() == full.String() {
+		t.Fatalf("ranged replay produced the full-trace report:\n%s", &ranged)
+	}
+	if !strings.Contains(ranged.String(), "TSE") {
+		t.Fatalf("ranged replay printed no report:\n%s", &ranged)
+	}
+}

@@ -74,9 +74,9 @@ func (p *Progress) loop() {
 			return
 		case now := <-tick.C:
 			cur := p.cfg.Events.Value()
-			rate := float64(cur-last) / now.Sub(lastT).Seconds()
+			rate := ratePerSec(cur-last, now.Sub(lastT))
 			last, lastT = cur, now
-			line := fmt.Sprintf("%s: %s events, %s events/s", p.cfg.Label, groupDigits(cur), groupDigits(uint64(rate)))
+			line := fmt.Sprintf("%s: %s events, %s events/s", p.cfg.Label, groupDigits(cur), groupDigits(rate))
 			if p.cfg.Fraction != nil {
 				if f := p.cfg.Fraction(); f > 0 {
 					if f > 1 {
@@ -102,9 +102,24 @@ func (p *Progress) Stop() {
 	<-p.done
 	elapsed := time.Since(p.start)
 	total := p.cfg.Events.Value()
-	rate := float64(total) / elapsed.Seconds()
 	fmt.Fprintf(p.cfg.W, "%s: done, %s events in %s (%s events/s)\n",
-		p.cfg.Label, groupDigits(total), elapsed.Round(time.Millisecond), groupDigits(uint64(rate)))
+		p.cfg.Label, groupDigits(total), elapsed.Round(time.Millisecond), groupDigits(ratePerSec(total, elapsed)))
+}
+
+// ratePerSec computes n/elapsed as a whole per-second rate. A zero or
+// negative elapsed (Stop right after Start, or a clock step) would divide by
+// ~0 and feed NaN or +Inf into uint64 conversion, which is platform-defined;
+// report 0 instead of a garbage rate.
+func ratePerSec(n uint64, elapsed time.Duration) uint64 {
+	secs := elapsed.Seconds()
+	if secs <= 0 {
+		return 0
+	}
+	rate := float64(n) / secs
+	if rate != rate || rate > float64(1<<63) { // NaN or out of uint64 range
+		return 0
+	}
+	return uint64(rate)
 }
 
 // groupDigits renders n with thousands separators (1234567 → "1,234,567").

@@ -203,3 +203,48 @@ func TestGroupDigits(t *testing.T) {
 		}
 	}
 }
+
+// TestRatePerSec pins the division guard: a zero/negative elapsed or an
+// astronomic rate must come out 0, never NaN/+Inf punched through uint64
+// conversion (whose result is platform-defined).
+func TestRatePerSec(t *testing.T) {
+	cases := []struct {
+		n       uint64
+		elapsed time.Duration
+		want    uint64
+	}{
+		{1000, time.Second, 1000},
+		{1000, 2 * time.Second, 500},
+		{1000, 0, 0},
+		{1000, -time.Second, 0},
+		{0, 0, 0},
+		{^uint64(0), 1, 0}, // ~1.8e28 events/s overflows uint64: report 0, not garbage
+	}
+	for _, c := range cases {
+		if got := ratePerSec(c.n, c.elapsed); got != c.want {
+			t.Fatalf("ratePerSec(%d, %v) = %d, want %d", c.n, c.elapsed, got, c.want)
+		}
+	}
+}
+
+// TestProgressImmediateStop reproduces the divide-by-~zero summary: Stop
+// immediately after Start used to compute total/elapsed with elapsed≈0,
+// printing a nonsense rate (uint64(+Inf) is platform-defined). The summary
+// must still print, with a sane (possibly zero) rate.
+func TestProgressImmediateStop(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("events")
+	c.Add(42)
+	var buf syncBuffer
+	p := StartProgress(ProgressConfig{W: &buf, Label: "flash", Events: c, Interval: time.Hour})
+	p.Stop()
+	out := buf.String()
+	if !strings.Contains(out, "flash: done, 42 events in") {
+		t.Fatalf("summary line missing:\n%s", out)
+	}
+	// The rate is whole digits with separators — never "NaN", "+Inf", or a
+	// 20-digit conversion artifact like 9,223,372,036,854,775,808.
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") || strings.Contains(out, "9,223,372,036,854,775,808") {
+		t.Fatalf("summary rate not guarded:\n%s", out)
+	}
+}

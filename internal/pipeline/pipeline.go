@@ -147,6 +147,30 @@ type item struct {
 	err    error
 }
 
+// fillChunk fills one broadcast chunk from src. When src is a
+// stream.ChunkSource (the codec Reader and the parallel decoder both are),
+// the producer adopts a whole pre-decoded chunk in one bulk copy instead of
+// one interface call per event; otherwise it pulls up to chunkEvents
+// events. A non-nil terminal accompanies whatever partial chunk was filled
+// before it (possibly none).
+func fillChunk(src stream.Source, cs stream.ChunkSource, chunk []trace.Event, chunkEvents int) ([]trace.Event, error) {
+	if cs != nil {
+		events, err := cs.NextChunk()
+		if err != nil {
+			return chunk, err
+		}
+		return append(chunk, events...), nil
+	}
+	for len(chunk) < chunkEvents {
+		e, err := src.Next()
+		if err != nil {
+			return chunk, err
+		}
+		chunk = append(chunk, e)
+	}
+	return chunk, nil
+}
+
 // chanSource adapts a consumer's chunk channel to the stream.Source pulled
 // by the consumer's evaluation loop. Terminal conditions arrive strictly in
 // band, so a consumer always observes every event broadcast to it before any
@@ -321,6 +345,7 @@ func (c Config) runChannels(src stream.Source, consumers []Consumer, o *engineOb
 				sp.Arg("events", total).End()
 			}
 		}()
+		cs, _ := src.(stream.ChunkSource)
 		for {
 			select {
 			case <-stop:
@@ -332,16 +357,7 @@ func (c Config) runChannels(src stream.Source, consumers []Consumer, o *engineOb
 			if o.tracing() {
 				csp = o.tracer.Begin("chunk", "decode", 0)
 			}
-			chunk := make([]trace.Event, 0, c.ChunkEvents)
-			var terminal error
-			for len(chunk) < c.ChunkEvents {
-				e, err := src.Next()
-				if err != nil {
-					terminal = err
-					break
-				}
-				chunk = append(chunk, e)
-			}
+			chunk, terminal := fillChunk(src, cs, make([]trace.Event, 0, c.ChunkEvents), c.ChunkEvents)
 			if len(chunk) > 0 {
 				total += uint64(len(chunk))
 				o.decoded(len(chunk))

@@ -372,3 +372,113 @@ func TestBackpressure(t *testing.T) {
 		})
 	}
 }
+
+// chunkedSource is a stream.ChunkSource that hands out its events in fixed
+// chunks THROUGH A REUSED BUFFER, like the codec readers do: the returned
+// slice is invalid after the next call. The broadcast must copy chunks, so
+// consumers still observe pristine events — this pins the bulk-copy fast
+// path the producers take for pre-decoded chunks.
+type chunkedSource struct {
+	events    []trace.Event
+	pos       int
+	chunk     int
+	buf       []trace.Event
+	nexts     int // per-event Next calls observed (fast path must avoid them)
+	fail      error
+	failAfter int // fail after this many chunks when fail != nil
+}
+
+func (s *chunkedSource) Next() (trace.Event, error) {
+	s.nexts++
+	if s.pos >= len(s.events) {
+		return trace.Event{}, io.EOF
+	}
+	e := s.events[s.pos]
+	s.pos++
+	return e, nil
+}
+
+func (s *chunkedSource) NextChunk() ([]trace.Event, error) {
+	if s.fail != nil && s.failAfter == 0 {
+		return nil, s.fail
+	}
+	if s.pos >= len(s.events) {
+		return nil, io.EOF
+	}
+	n := s.chunk
+	if rest := len(s.events) - s.pos; n > rest {
+		n = rest
+	}
+	s.buf = append(s.buf[:0], s.events[s.pos:s.pos+n]...)
+	s.pos += n
+	if s.fail != nil {
+		s.failAfter--
+	}
+	// Scramble the previous hand-out: anyone holding the old slice sees it.
+	for i := range s.buf {
+		s.buf[i].Seq = s.events[s.pos-n+i].Seq
+	}
+	return s.buf, nil
+}
+
+// TestChunkSourceParity: a ChunkSource feeds both strategies through the
+// bulk-copy path, and every consumer still observes the exact event stream —
+// even though the source reuses its chunk buffer between calls.
+func TestChunkSourceParity(t *testing.T) {
+	events := makeEvents(1000)
+	for _, st := range strategies {
+		t.Run(st.name, func(t *testing.T) {
+			for _, chunk := range []int{1, 13, 256, 4096} {
+				src := &chunkedSource{events: events, chunk: chunk}
+				consumers := make([]Consumer, 3)
+				records := make([]*recordConsumer, len(consumers))
+				for i := range consumers {
+					records[i] = &recordConsumer{}
+					consumers[i] = records[i]
+				}
+				cfg := Config{ChunkEvents: 64, ChunkBuffer: 2, Strategy: st.s}
+				if err := cfg.Run(src, consumers...); err != nil {
+					t.Fatalf("chunk %d: %v", chunk, err)
+				}
+				if src.nexts > 0 {
+					t.Fatalf("chunk %d: producer made %d per-event Next calls; ChunkSource fast path not taken", chunk, src.nexts)
+				}
+				for ci, rec := range records {
+					if len(rec.events) != len(events) {
+						t.Fatalf("chunk %d consumer %d: saw %d events, want %d", chunk, ci, len(rec.events), len(events))
+					}
+					for i := range events {
+						if rec.events[i] != events[i] {
+							t.Fatalf("chunk %d consumer %d: event %d = %+v, want %+v (chunks must be copied out of the reused buffer)", chunk, ci, i, rec.events[i], events[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestChunkSourceErrorPropagates: a terminal error from NextChunk reaches
+// every consumer in band, after the events that preceded it.
+func TestChunkSourceErrorPropagates(t *testing.T) {
+	events := makeEvents(300)
+	decodeErr := errors.New("chunk decode failed")
+	for _, st := range strategies {
+		t.Run(st.name, func(t *testing.T) {
+			src := &chunkedSource{events: events, chunk: 100, fail: decodeErr, failAfter: 2}
+			records := []*recordConsumer{{}, {}}
+			err := Config{Strategy: st.s, ChunkBuffer: 2}.Run(src, records[0], records[1])
+			if !errors.Is(err, decodeErr) {
+				t.Fatalf("err = %v, want the decode error", err)
+			}
+			for ci, rec := range records {
+				if !errors.Is(rec.terminal, decodeErr) {
+					t.Fatalf("consumer %d terminal = %v, want the decode error", ci, rec.terminal)
+				}
+				if len(rec.events) != 200 {
+					t.Fatalf("consumer %d saw %d events before the error, want 200", ci, len(rec.events))
+				}
+			}
+		})
+	}
+}

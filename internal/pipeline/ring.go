@@ -266,6 +266,7 @@ func (c Config) runRing(src stream.Source, consumers []Consumer, o *engineObs) e
 				sp.Arg("events", total).End()
 			}
 		}()
+		cs, _ := src.(stream.ChunkSource)
 		for {
 			chunk, ok := r.buffer(c.ChunkEvents)
 			if !ok {
@@ -276,15 +277,7 @@ func (c Config) runRing(src stream.Source, consumers []Consumer, o *engineObs) e
 			if o.tracing() {
 				csp = o.tracer.Begin("chunk", "decode", 0)
 			}
-			var terminal error
-			for len(chunk) < c.ChunkEvents {
-				e, err := src.Next()
-				if err != nil {
-					terminal = err
-					break
-				}
-				chunk = append(chunk, e)
-			}
+			chunk, terminal := fillChunk(src, cs, chunk, c.ChunkEvents)
 			if len(chunk) > 0 {
 				total += uint64(len(chunk))
 				o.decoded(len(chunk))

@@ -14,11 +14,25 @@
 //	            relative to zero, so chunks decode independently)
 //	          producer+1 (uvarint; mem.InvalidNode encodes as 0)
 //	end     a zero chunk count, then the total event count (uvarint)
+//	footer  version ≥ 3 only: the chunk index (see index.go) — a payload of
+//	          chunk count (uvarint), then per chunk the file offset
+//	          (uvarint, delta from the previous chunk's offset; the first
+//	          is absolute) and event count (uvarint), then the end-marker
+//	          offset (uvarint, delta from the last chunk's offset) —
+//	          followed by the payload length (8 bytes little endian) and
+//	          the footer magic "TSMI", so a seeking reader locates the
+//	          index from the end of the file without decoding the stream
+//
+// A stream ends immediately after its trailer (v1/v2) or footer (v3):
+// readers verify EOF and fail with ErrCorrupt on trailing bytes, so a
+// concatenated or padded file cannot silently decode as a shorter trace.
 //
 // Sequence numbers are not stored: they are implicit in stream order. Delta
 // encoding matters because consecutive consumptions in a stream are near one
 // another in the address space, so most block deltas fit in one or two
-// bytes instead of eight.
+// bytes instead of eight. Block deltas reset at chunk boundaries, so each
+// chunk decodes independently — which is what the chunk index exploits for
+// seeking (partial replay) and parallel-by-chunk decode (pdecode.go).
 package stream
 
 import (
@@ -40,10 +54,17 @@ import (
 // fixed-width "TSM1" format in internal/trace).
 var Magic = [4]byte{'T', 'S', 'M', 'S'}
 
-// Version is the current codec version. Writers always emit it; readers
-// also accept version 1 (which lacks the repeat metadata field) so traces
-// written before the run-length knob existed stay replayable.
-const Version = 2
+// Version is the current codec version. Writers emit it by default; readers
+// also accept version 2 (no chunk-index footer) and version 1 (additionally
+// lacks the repeat metadata field) so older traces stay replayable — they
+// just decode serially, since only version ≥ 3 carries the index that
+// seeking and parallel decode need.
+const Version = 3
+
+// VersionNoIndex is the last codec version without the chunk-index footer.
+// NewWriterVersion can still emit it (tracegen -no-index), keeping the
+// serial fallback path exercised end to end.
+const VersionNoIndex = 2
 
 // versionNoRepeat is the last codec version without the repeat meta field.
 const versionNoRepeat = 1
@@ -119,30 +140,50 @@ type Writer struct {
 	scratch []byte
 	count   uint64
 	perCh   int
+	version byte
+	off     int64      // bytes emitted so far (header + flushed chunks)
+	index   []ChunkRef // offset/count per flushed chunk (version ≥ 3)
 	closed  bool
 	err     error
 }
 
-// NewWriter writes the header and metadata and returns a Writer.
+// NewWriter writes the header and metadata and returns a Writer emitting
+// the current codec version (indexed).
 func NewWriter(w io.Writer, meta Meta) (*Writer, error) {
+	return NewWriterVersion(w, meta, Version)
+}
+
+// NewWriterVersion is NewWriter with an explicit codec version, so older
+// formats (version 2: no chunk-index footer; version 1: additionally no
+// repeat field) can still be produced for back-compat testing and for
+// consumers that stream rather than seek.
+func NewWriterVersion(w io.Writer, meta Meta, version byte) (*Writer, error) {
+	if version < versionNoRepeat || version > Version {
+		return nil, fmt.Errorf("%w: cannot write version %d", ErrVersion, version)
+	}
 	bw := bufio.NewWriter(w)
 	hdr := make([]byte, 0, 64)
 	hdr = append(hdr, Magic[:]...)
-	hdr = append(hdr, Version)
+	hdr = append(hdr, version)
 	name := strings.ToLower(meta.Workload)
 	hdr = binary.AppendUvarint(hdr, uint64(len(name)))
 	hdr = append(hdr, name...)
 	hdr = binary.AppendUvarint(hdr, uint64(meta.Nodes))
 	hdr = binary.LittleEndian.AppendUint64(hdr, math.Float64bits(meta.Scale))
 	hdr = binary.AppendVarint(hdr, meta.Seed)
-	hdr = binary.LittleEndian.AppendUint64(hdr, math.Float64bits(meta.Repeat))
+	if version > versionNoRepeat {
+		hdr = binary.LittleEndian.AppendUint64(hdr, math.Float64bits(meta.Repeat))
+	}
 	if _, err := bw.Write(hdr); err != nil {
 		return nil, fmt.Errorf("stream: writing header: %w", err)
 	}
-	return &Writer{w: bw, perCh: DefaultChunkEvents}, nil
+	return &Writer{w: bw, perCh: DefaultChunkEvents, version: version, off: int64(len(hdr))}, nil
 }
 
-// Write implements Sink. The event's Seq field is not stored.
+// Write implements Sink. The event's Seq field is not stored. The count is
+// only advanced once the event is safely buffered AND any chunk flush it
+// triggered succeeded, so after a write error Count() agrees with what
+// actually hit the wire instead of drifting ahead of it.
 func (w *Writer) Write(e trace.Event) error {
 	if w.err != nil {
 		return w.err
@@ -152,14 +193,17 @@ func (w *Writer) Write(e trace.Event) error {
 		return w.err
 	}
 	w.chunk = append(w.chunk, e)
-	w.count++
 	if len(w.chunk) >= w.perCh {
-		return w.flushChunk()
+		if err := w.flushChunk(); err != nil {
+			return err
+		}
 	}
+	w.count++
 	return nil
 }
 
-// flushChunk encodes and emits the buffered events as one chunk.
+// flushChunk encodes and emits the buffered events as one chunk, recording
+// its file offset in the index.
 func (w *Writer) flushChunk() error {
 	if len(w.chunk) == 0 {
 		return nil
@@ -174,21 +218,27 @@ func (w *Writer) flushChunk() error {
 		prev = uint64(e.Block)
 		buf = binary.AppendUvarint(buf, uint64(int64(e.Producer)+1))
 	}
+	if w.version >= Version {
+		w.index = append(w.index, ChunkRef{Offset: w.off, Events: uint64(len(w.chunk))})
+	}
 	w.scratch = buf[:0]
 	w.chunk = w.chunk[:0]
 	if _, err := w.w.Write(buf); err != nil {
 		w.err = fmt.Errorf("stream: writing chunk: %w", err)
 		return w.err
 	}
+	w.off += int64(len(buf))
 	return nil
 }
 
-// Count returns the number of events written so far.
+// Count returns the number of events durably accepted so far: events whose
+// chunk flush failed are not counted, so the figure never runs ahead of the
+// stream's actual contents.
 func (w *Writer) Count() uint64 { return w.count }
 
-// Close flushes the final chunk, writes the end-of-stream marker and the
-// event-count trailer, and flushes the underlying buffer. It implements
-// Sink and is idempotent.
+// Close flushes the final chunk, writes the end-of-stream marker, the
+// event-count trailer and (version ≥ 3) the chunk-index footer, then
+// flushes the underlying buffer. It implements Sink and is idempotent.
 func (w *Writer) Close() error {
 	if w.err != nil {
 		return w.err
@@ -200,12 +250,17 @@ func (w *Writer) Close() error {
 	if err := w.flushChunk(); err != nil {
 		return err
 	}
+	end := w.off
 	tail := binary.AppendUvarint(nil, 0)
 	tail = binary.AppendUvarint(tail, w.count)
+	if w.version >= Version {
+		tail = appendFooter(tail, w.index, end)
+	}
 	if _, err := w.w.Write(tail); err != nil {
 		w.err = fmt.Errorf("stream: writing trailer: %w", err)
 		return w.err
 	}
+	w.off += int64(len(tail))
 	if err := w.w.Flush(); err != nil {
 		w.err = fmt.Errorf("stream: flushing: %w", err)
 		return w.err
@@ -213,83 +268,137 @@ func (w *Writer) Close() error {
 	return nil
 }
 
-// Reader decodes a stream produced by Writer. It implements Source.
+// Reader decodes a stream produced by Writer. It implements Source (and
+// ChunkSource: NextChunk hands out whole decoded chunks).
 type Reader struct {
-	r     *bufio.Reader
-	meta  Meta
-	chunk []trace.Event
-	pos   int
-	next  uint64
-	done  bool
+	r       *posReader
+	meta    Meta
+	version byte
+	chunk   []trace.Event
+	pos     int
+	next    uint64
+	chunks  uint64 // chunks decoded so far (cross-checked against the footer)
+	// refs records each decoded chunk's byte offset and event count on
+	// version ≥ 3 streams, so verifyFooter can check the footer entry for
+	// entry against what was actually decoded — a footer that merely sums
+	// right but points elsewhere is corruption, not a cosmetic defect,
+	// because seeking readers trust those offsets. ~32 bytes per multi-KB
+	// chunk, so the streaming decode stays effectively O(chunk) memory.
+	refs   []ChunkRef
+	endOff int64 // byte offset of the end marker
+	done   bool
+}
+
+// byteScanner is the reader shape header/footer parsing needs: bufio.Reader
+// satisfies it, as does any test reader.
+type byteScanner interface {
+	io.Reader
+	io.ByteReader
+}
+
+// posReader counts consumed bytes so callers learn the header length — the
+// seeking open path needs it to know where chunk data begins.
+type posReader struct {
+	r byteScanner
+	n int64
+}
+
+func (p *posReader) Read(b []byte) (int, error) {
+	n, err := p.r.Read(b)
+	p.n += int64(n)
+	return n, err
+}
+
+func (p *posReader) ReadByte() (byte, error) {
+	b, err := p.r.ReadByte()
+	if err == nil {
+		p.n++
+	}
+	return b, err
 }
 
 // NewReader validates the header, decodes the metadata and returns a
 // Reader. It fails with ErrBadMagic or a wrapped ErrVersion on foreign or
 // incompatible streams.
 func NewReader(r io.Reader) (*Reader, error) {
-	br := bufio.NewReader(r)
-	var hdr [5]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("stream: reading header: %w", errTrunc(err))
-	}
-	if *(*[4]byte)(hdr[:4]) != Magic {
-		return nil, ErrBadMagic
-	}
-	if hdr[4] != Version && hdr[4] != versionNoRepeat {
-		return nil, fmt.Errorf("%w: got %d, want %d (or %d)", ErrVersion, hdr[4], Version, versionNoRepeat)
-	}
-	version := hdr[4]
-	rd := &Reader{r: br}
-	n, err := binary.ReadUvarint(br)
+	pr := &posReader{r: bufio.NewReader(r)}
+	meta, version, err := parseHeader(pr)
 	if err != nil {
-		return nil, fmt.Errorf("stream: reading metadata: %w", errTrunc(err))
+		return nil, err
 	}
-	if n > 1024 {
-		return nil, fmt.Errorf("%w: workload name length %d", ErrCorrupt, n)
-	}
-	name := make([]byte, n)
-	if _, err := io.ReadFull(br, name); err != nil {
-		return nil, fmt.Errorf("stream: reading metadata: %w", errTrunc(err))
-	}
-	rd.meta.Workload = string(name)
-	nodes, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, fmt.Errorf("stream: reading metadata: %w", errTrunc(err))
-	}
-	if nodes > maxMetaNodes {
-		return nil, fmt.Errorf("%w: node count %d", ErrCorrupt, nodes)
-	}
-	rd.meta.Nodes = int(nodes)
-	var scale [8]byte
-	if _, err := io.ReadFull(br, scale[:]); err != nil {
-		return nil, fmt.Errorf("stream: reading metadata: %w", errTrunc(err))
-	}
-	rd.meta.Scale = math.Float64frombits(binary.LittleEndian.Uint64(scale[:]))
-	if math.IsNaN(rd.meta.Scale) || math.IsInf(rd.meta.Scale, 0) || rd.meta.Scale < 0 || rd.meta.Scale > maxMetaScale {
-		return nil, fmt.Errorf("%w: scale %v", ErrCorrupt, rd.meta.Scale)
-	}
-	seed, err := binary.ReadVarint(br)
-	if err != nil {
-		return nil, fmt.Errorf("stream: reading metadata: %w", errTrunc(err))
-	}
-	rd.meta.Seed = seed
-	if version >= 2 {
-		var repeat [8]byte
-		if _, err := io.ReadFull(br, repeat[:]); err != nil {
-			return nil, fmt.Errorf("stream: reading metadata: %w", errTrunc(err))
-		}
-		rd.meta.Repeat = math.Float64frombits(binary.LittleEndian.Uint64(repeat[:]))
-		if math.IsNaN(rd.meta.Repeat) || math.IsInf(rd.meta.Repeat, 0) || rd.meta.Repeat < 0 || rd.meta.Repeat > maxMetaScale {
-			return nil, fmt.Errorf("%w: repeat %v", ErrCorrupt, rd.meta.Repeat)
-		}
-	}
-	return rd, nil
+	return &Reader{r: pr, meta: meta, version: version}, nil
 }
 
-// errTrunc maps any EOF while structure remains expected to ErrTruncated.
+// parseHeader decodes the magic, version byte and metadata block.
+func parseHeader(pr *posReader) (Meta, byte, error) {
+	var meta Meta
+	var hdr [5]byte
+	if _, err := io.ReadFull(pr, hdr[:]); err != nil {
+		return meta, 0, fmt.Errorf("stream: reading header: %w", errTrunc(err))
+	}
+	if *(*[4]byte)(hdr[:4]) != Magic {
+		return meta, 0, ErrBadMagic
+	}
+	version := hdr[4]
+	if version < versionNoRepeat || version > Version {
+		return meta, 0, fmt.Errorf("%w: got %d, want %d..%d", ErrVersion, version, versionNoRepeat, Version)
+	}
+	n, err := binary.ReadUvarint(pr)
+	if err != nil {
+		return meta, 0, fmt.Errorf("stream: reading metadata: %w", errTrunc(err))
+	}
+	if n > 1024 {
+		return meta, 0, fmt.Errorf("%w: workload name length %d", ErrCorrupt, n)
+	}
+	name := make([]byte, n)
+	if _, err := io.ReadFull(pr, name); err != nil {
+		return meta, 0, fmt.Errorf("stream: reading metadata: %w", errTrunc(err))
+	}
+	meta.Workload = string(name)
+	nodes, err := binary.ReadUvarint(pr)
+	if err != nil {
+		return meta, 0, fmt.Errorf("stream: reading metadata: %w", errTrunc(err))
+	}
+	if nodes > maxMetaNodes {
+		return meta, 0, fmt.Errorf("%w: node count %d", ErrCorrupt, nodes)
+	}
+	meta.Nodes = int(nodes)
+	var scale [8]byte
+	if _, err := io.ReadFull(pr, scale[:]); err != nil {
+		return meta, 0, fmt.Errorf("stream: reading metadata: %w", errTrunc(err))
+	}
+	meta.Scale = math.Float64frombits(binary.LittleEndian.Uint64(scale[:]))
+	if math.IsNaN(meta.Scale) || math.IsInf(meta.Scale, 0) || meta.Scale < 0 || meta.Scale > maxMetaScale {
+		return meta, 0, fmt.Errorf("%w: scale %v", ErrCorrupt, meta.Scale)
+	}
+	seed, err := binary.ReadVarint(pr)
+	if err != nil {
+		return meta, 0, fmt.Errorf("stream: reading metadata: %w", errTrunc(err))
+	}
+	meta.Seed = seed
+	if version > versionNoRepeat {
+		var repeat [8]byte
+		if _, err := io.ReadFull(pr, repeat[:]); err != nil {
+			return meta, 0, fmt.Errorf("stream: reading metadata: %w", errTrunc(err))
+		}
+		meta.Repeat = math.Float64frombits(binary.LittleEndian.Uint64(repeat[:]))
+		if math.IsNaN(meta.Repeat) || math.IsInf(meta.Repeat, 0) || meta.Repeat < 0 || meta.Repeat > maxMetaScale {
+			return meta, 0, fmt.Errorf("%w: repeat %v", ErrCorrupt, meta.Repeat)
+		}
+	}
+	return meta, version, nil
+}
+
+// errTrunc maps any EOF while structure remains expected to ErrTruncated,
+// and a varint that overflows 64 bits (an unstructured errors.New deep in
+// encoding/binary) to ErrCorrupt — both are malformed-input conditions the
+// decoder's callers must be able to errors.Is against.
 func errTrunc(err error) error {
 	if err == io.EOF || err == io.ErrUnexpectedEOF {
 		return ErrTruncated
+	}
+	if err != nil && strings.Contains(err.Error(), "varint overflows") {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	return err
 }
@@ -315,20 +424,47 @@ func (r *Reader) Next() (trace.Event, error) {
 	return e, nil
 }
 
-// readChunk decodes the next chunk, or verifies the trailer on the end
-// marker.
+// NextChunk implements ChunkSource: it returns the remaining events of the
+// current chunk (decoding the next one if exhausted) with sequence numbers
+// assigned, or io.EOF after the last. The returned slice is only valid
+// until the next NextChunk/Next call.
+func (r *Reader) NextChunk() ([]trace.Event, error) {
+	for r.pos >= len(r.chunk) {
+		if r.done {
+			return nil, io.EOF
+		}
+		if err := r.readChunk(); err != nil {
+			return nil, err
+		}
+	}
+	out := r.chunk[r.pos:]
+	for i := range out {
+		out[i].Seq = r.next
+		r.next++
+	}
+	r.pos = len(r.chunk)
+	return out, nil
+}
+
+// readChunk decodes the next chunk, or verifies the trailer (and, for
+// version ≥ 3, the footer) on the end marker.
 func (r *Reader) readChunk() error {
+	start := r.r.n // offset of the chunk's count uvarint (or the end marker)
 	n, err := binary.ReadUvarint(r.r)
 	if err != nil {
 		return fmt.Errorf("stream: reading chunk count: %w", errTrunc(err))
 	}
 	if n == 0 {
+		r.endOff = start
 		total, err := binary.ReadUvarint(r.r)
 		if err != nil {
 			return fmt.Errorf("stream: reading trailer: %w", errTrunc(err))
 		}
 		if total != r.next {
 			return fmt.Errorf("%w: trailer count %d, decoded %d events", ErrCorrupt, total, r.next)
+		}
+		if err := r.verifyEnd(); err != nil {
+			return err
 		}
 		r.done = true
 		r.chunk = r.chunk[:0]
@@ -341,35 +477,113 @@ func (r *Reader) readChunk() error {
 	if cap(r.chunk) < int(n) {
 		r.chunk = make([]trace.Event, 0, n)
 	}
-	r.chunk = r.chunk[:0]
 	r.pos = 0
+	r.chunk, err = appendChunkEvents(r.r, n, r.chunk[:0])
+	if err != nil {
+		return err
+	}
+	r.chunks++
+	if r.version >= Version {
+		r.refs = append(r.refs, ChunkRef{Offset: start, Events: n})
+	}
+	return nil
+}
+
+// verifyEnd enforces that the stream actually ends where the format says it
+// does. A version ≥ 3 stream must carry a footer consistent with the chunks
+// just decoded; every version must then hit EOF — trailing bytes mean a
+// concatenated, padded or mis-framed file and fail with ErrCorrupt instead
+// of being silently ignored.
+func (r *Reader) verifyEnd() error {
+	if r.version >= Version {
+		if err := r.verifyFooter(); err != nil {
+			return err
+		}
+	}
+	if _, err := r.r.ReadByte(); err != io.EOF {
+		if err != nil {
+			return fmt.Errorf("stream: reading end of stream: %w", err)
+		}
+		return fmt.Errorf("%w: trailing data after end of stream", ErrCorrupt)
+	}
+	return nil
+}
+
+// verifyFooter decodes the chunk-index footer in stream order and checks
+// every entry — offset AND event count — against the chunks actually
+// decoded, plus the end-marker offset, the totals, the payload length and
+// the magic. A footer whose totals sum right but whose offsets point
+// elsewhere would send seeking readers to arbitrary bytes, so the streaming
+// reader rejects it just as the seeking reader (ReadIndex) does: both paths
+// accept exactly the same files.
+func (r *Reader) verifyFooter() error {
+	pr := &posReader{r: r.r}
+	count, sum, end, err := walkFooterPayload(pr, func(i int, offset int64, events uint64) error {
+		if i >= len(r.refs) {
+			return nil // chunk-count mismatch, reported below
+		}
+		if ref := r.refs[i]; offset != ref.Offset || events != ref.Events {
+			return fmt.Errorf("%w: footer chunk %d is offset %d/%d events, decoded offset %d/%d events",
+				ErrCorrupt, i, offset, events, ref.Offset, ref.Events)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if count != r.chunks {
+		return fmt.Errorf("%w: footer indexes %d chunks, decoded %d", ErrCorrupt, count, r.chunks)
+	}
+	if sum != r.next {
+		return fmt.Errorf("%w: footer counts %d events, decoded %d", ErrCorrupt, sum, r.next)
+	}
+	if end != r.endOff {
+		return fmt.Errorf("%w: footer end offset %d, end marker decoded at %d", ErrCorrupt, end, r.endOff)
+	}
+	var suffix [indexSuffixLen]byte
+	if _, err := io.ReadFull(r.r, suffix[:]); err != nil {
+		return fmt.Errorf("stream: reading footer suffix: %w", errTrunc(err))
+	}
+	if payloadLen := binary.LittleEndian.Uint64(suffix[:8]); payloadLen != uint64(pr.n) {
+		return fmt.Errorf("%w: footer length %d, decoded %d bytes", ErrCorrupt, payloadLen, pr.n)
+	}
+	if *(*[4]byte)(suffix[8:]) != IndexMagic {
+		return fmt.Errorf("%w: bad footer magic", ErrCorrupt)
+	}
+	return nil
+}
+
+// appendChunkEvents decodes n delta-reset events from r, appending them to
+// dst. It is shared between the streaming Reader and the parallel per-chunk
+// decoder.
+func appendChunkEvents(r io.ByteReader, n uint64, dst []trace.Event) ([]trace.Event, error) {
 	prev := uint64(0)
 	for i := uint64(0); i < n; i++ {
-		kind, err := r.r.ReadByte()
+		kind, err := r.ReadByte()
 		if err != nil {
-			return fmt.Errorf("stream: reading event kind: %w", errTrunc(err))
+			return dst, fmt.Errorf("stream: reading event kind: %w", errTrunc(err))
 		}
-		node, err := binary.ReadUvarint(r.r)
+		node, err := binary.ReadUvarint(r)
 		if err != nil {
-			return fmt.Errorf("stream: reading event node: %w", errTrunc(err))
+			return dst, fmt.Errorf("stream: reading event node: %w", errTrunc(err))
 		}
-		delta, err := binary.ReadVarint(r.r)
+		delta, err := binary.ReadVarint(r)
 		if err != nil {
-			return fmt.Errorf("stream: reading event block: %w", errTrunc(err))
+			return dst, fmt.Errorf("stream: reading event block: %w", errTrunc(err))
 		}
 		prev += uint64(delta)
-		prod, err := binary.ReadUvarint(r.r)
+		prod, err := binary.ReadUvarint(r)
 		if err != nil {
-			return fmt.Errorf("stream: reading event producer: %w", errTrunc(err))
+			return dst, fmt.Errorf("stream: reading event producer: %w", errTrunc(err))
 		}
-		r.chunk = append(r.chunk, trace.Event{
+		dst = append(dst, trace.Event{
 			Kind:     trace.EventKind(kind),
 			Node:     mem.NodeID(node),
 			Block:    mem.BlockAddr(prev),
 			Producer: mem.NodeID(int64(prod) - 1),
 		})
 	}
-	return nil
+	return dst, nil
 }
 
 // WriteFile streams src into a new trace file at path, fsync-free but fully

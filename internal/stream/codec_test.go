@@ -43,8 +43,16 @@ func randomTrace(n int, seed int64) *trace.Trace {
 
 func encode(t *testing.T, tr *trace.Trace, meta Meta) []byte {
 	t.Helper()
+	return encodeV(t, tr, meta, Version)
+}
+
+// encodeV encodes at an explicit codec version — the legacy-layout tests
+// (trailer surgery, v1 header patching) need a version 2 stream, whose last
+// bytes are the trailer rather than the chunk-index footer.
+func encodeV(t *testing.T, tr *trace.Trace, meta Meta, version byte) []byte {
+	t.Helper()
 	var buf bytes.Buffer
-	w, err := NewWriter(&buf, meta)
+	w, err := NewWriterVersion(&buf, meta, version)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +154,10 @@ func TestCodecTruncated(t *testing.T) {
 // complete chunks but no end marker. The reader must not report clean EOF.
 func TestCodecMissingTrailer(t *testing.T) {
 	tr := randomTrace(DefaultChunkEvents, 11) // exactly one full chunk
-	data := encode(t, tr, Meta{Nodes: 16, Scale: 1, Seed: 1})
+	// Version 2: the stream ends at the trailer, so stripping the last
+	// bytes removes exactly the end marker + count. (A v3 stream ends at
+	// the footer instead; truncation inside it is covered elsewhere.)
+	data := encodeV(t, tr, Meta{Nodes: 16, Scale: 1, Seed: 1}, VersionNoIndex)
 	// Strip the end marker (one zero byte) and trailer varint.
 	trunc := data[:len(data)-1-len(appendUvarintLen(uint64(tr.Len())))]
 	r, err := NewReader(bytes.NewReader(trunc))
@@ -172,19 +183,9 @@ func appendUvarintLen(v uint64) []byte {
 // TestCodecCorruptTrailer flips the trailer count and expects ErrCorrupt.
 func TestCodecCorruptTrailer(t *testing.T) {
 	tr := randomTrace(5, 13)
-	var buf bytes.Buffer
-	w, err := NewWriter(&buf, Meta{Nodes: 4, Scale: 1, Seed: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := Copy(w, TraceSource(tr)); err != nil {
-		t.Fatal(err)
-	}
-	if err := w.Close(); err != nil {
-		t.Fatal(err)
-	}
-	data := buf.Bytes()
-	data[len(data)-1]++ // trailer is the last varint; 5 fits in one byte
+	// Version 2, where the trailer is the last varint of the stream.
+	data := encodeV(t, tr, Meta{Nodes: 4, Scale: 1, Seed: 1}, VersionNoIndex)
+	data[len(data)-1]++ // 5 fits in one byte
 	r, err := NewReader(bytes.NewReader(data))
 	if err != nil {
 		t.Fatal(err)
@@ -244,7 +245,7 @@ func TestCodecRepeatMetaRoundTrip(t *testing.T) {
 func TestCodecReadsVersion1(t *testing.T) {
 	tr := randomTrace(2*DefaultChunkEvents+5, 3)
 	meta := Meta{Workload: "db2", Nodes: 16, Scale: 0.25, Seed: 42}
-	data := encode(t, tr, meta)
+	data := encodeV(t, tr, meta, VersionNoIndex)
 	// Rewrite the v2 header as v1 by dropping the 8-byte repeat field:
 	// magic(4) + version(1) + name len(1) + "db2"(3) + nodes(1) +
 	// scale(8) + seed(1) puts it at offset 19 for this metadata.
@@ -270,6 +271,123 @@ func TestCodecReadsVersion1(t *testing.T) {
 		if got.Events[i] != tr.Events[i] {
 			t.Fatalf("event %d differs", i)
 		}
+	}
+}
+
+// TestCodecRejectsTrailingGarbage is the regression test for the silent-
+// corruption hole: the reader used to stop at the end marker + trailer
+// without confirming the stream actually ends, so a doubly-concatenated or
+// padded .tsm decoded "cleanly" as just its first stream. Every version
+// must now fail with ErrCorrupt.
+func TestCodecRejectsTrailingGarbage(t *testing.T) {
+	tr := randomTrace(DefaultChunkEvents+17, 21)
+	meta := Meta{Workload: "db2", Nodes: 16, Scale: 0.25, Seed: 42}
+	for _, version := range []byte{VersionNoIndex, Version} {
+		data := encodeV(t, tr, meta, version)
+		for name, corrupt := range map[string][]byte{
+			"doubly-concatenated": append(append([]byte{}, data...), data...),
+			"one trailing byte":   append(append([]byte{}, data...), 0),
+			"trailing zeros":      append(append([]byte{}, data...), make([]byte, 64)...),
+		} {
+			r, err := NewReader(bytes.NewReader(corrupt))
+			if err != nil {
+				t.Fatalf("v%d %s: header: %v", version, name, err)
+			}
+			if _, err := Collect(r); !errors.Is(err, ErrCorrupt) {
+				t.Errorf("v%d %s: err = %v, want ErrCorrupt", version, name, err)
+			}
+		}
+		// The pristine stream, for contrast, still decodes cleanly.
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, err := Collect(r); err != nil || got.Len() != tr.Len() {
+			t.Fatalf("v%d pristine: %d events, err %v", version, got.Len(), err)
+		}
+	}
+}
+
+// failAfterWriter errors on every write past the first n bytes, simulating
+// a full disk partway through a stream.
+type failAfterWriter struct {
+	n       int
+	written int
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.n {
+		return 0, errors.New("disk full")
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+// TestWriterCountStopsOnFlushError pins the Count/flush ordering: once a
+// chunk flush fails, Count() must not keep advancing past what actually hit
+// the wire, and the error must latch.
+func TestWriterCountStopsOnFlushError(t *testing.T) {
+	// Room for the header and the first buffered flush, but not much more.
+	// The writer buffers through bufio, so enough events are needed to
+	// force underlying writes.
+	fw := &failAfterWriter{n: 64}
+	w, err := NewWriter(fw, Meta{Nodes: 4, Scale: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.perCh = 8
+	tr := randomTrace(4*DefaultChunkEvents, 29)
+	var werr error
+	i := 0
+	for ; i < len(tr.Events); i++ {
+		if werr = w.Write(tr.Events[i]); werr != nil {
+			break
+		}
+	}
+	if werr == nil {
+		t.Fatal("expected a write to fail against the failing writer")
+	}
+	// Every successful Write counted, the failed one did not.
+	if got := w.Count(); got != uint64(i) {
+		t.Fatalf("Count() = %d after %d successful writes", got, i)
+	}
+	before := w.Count()
+	if err := w.Write(tr.Events[0]); err == nil {
+		t.Fatal("Write after error must keep failing")
+	}
+	if w.Count() != before {
+		t.Fatalf("Count() advanced to %d after the error latched", w.Count())
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("Close after a failed flush must report the error")
+	}
+}
+
+// TestCodecV2RoundTrip: NewWriterVersion(2) still produces the footerless
+// layout older readers understand, and the current reader decodes it.
+func TestCodecV2RoundTrip(t *testing.T) {
+	tr := randomTrace(2*DefaultChunkEvents+5, 31)
+	meta := Meta{Workload: "apache", Nodes: 8, Scale: 0.5, Seed: 3, Repeat: 2}
+	data := encodeV(t, tr, meta, VersionNoIndex)
+	if bytes.Equal(data[len(data)-4:], IndexMagic[:]) {
+		t.Fatal("version 2 stream must not carry a chunk-index footer")
+	}
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Meta() != meta {
+		t.Fatalf("meta = %+v, want %+v", r.Meta(), meta)
+	}
+	got, err := Collect(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() {
+		t.Fatalf("decoded %d events, want %d", got.Len(), tr.Len())
+	}
+	if _, err := NewWriterVersion(io.Discard, meta, Version+1); !errors.Is(err, ErrVersion) {
+		t.Fatal("NewWriterVersion must reject unknown versions")
 	}
 }
 

@@ -57,6 +57,14 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte("TSMS"))                 // magic only
 	f.Add([]byte{'T', 'S', 'M', 'S', 99}) // bad version
 	f.Add([]byte{})
+	// Version 3 footer vectors: truncated mid-index, corrupted index magic,
+	// and a doubly-concatenated stream (two complete traces back to back —
+	// the trailing-garbage regression the EOF check exists for).
+	f.Add(valid[:len(valid)-indexSuffixLen/2])
+	badMagic := append([]byte(nil), valid...)
+	copy(badMagic[len(badMagic)-len(IndexMagic):], "XXXX")
+	f.Add(badMagic)
+	f.Add(append(append([]byte(nil), valid...), valid...))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r, err := NewReader(bytes.NewReader(data))
@@ -85,6 +93,63 @@ func FuzzDecode(f *testing.F) {
 				t.Fatalf("event %d decoded with Seq %d; sequence numbers must be dense", n, e.Seq)
 			}
 			n++
+		}
+	})
+}
+
+// FuzzDecodeIndexed feeds arbitrary bytes to the indexed (seeking, parallel)
+// open path with the streaming decoder as the differential oracle: OpenIndexed
+// must never panic, and whenever it succeeds, the parallel decode must yield
+// exactly the event stream the serial Reader yields — same events, same
+// sequence numbers, same clean EOF. An input the serial decoder rejects that
+// the indexed path decodes (or vice versa, for inputs the indexed path
+// accepts) would be a silent-corruption hole.
+func FuzzDecodeIndexed(f *testing.F) {
+	meta := Meta{Workload: "db2", Nodes: 4, Scale: 0.25, Seed: 7}
+	events := []trace.Event{
+		{Kind: trace.KindWrite, Node: 0, Block: 0x1000, Producer: mem.InvalidNode},
+		{Kind: trace.KindConsumption, Node: 1, Block: 0x1000, Producer: 0},
+		{Kind: trace.KindConsumption, Node: 2, Block: 0x0040, Producer: 0},
+		{Kind: trace.KindReadMiss, Node: 3, Block: 1 << 40, Producer: mem.InvalidNode},
+		{Kind: trace.KindConsumption, Node: 3, Block: 0x2000, Producer: 2},
+	}
+	valid := encodeEvents(f, meta, events, 2)
+	f.Add(valid)
+	f.Add(encodeEvents(f, meta, events, 1))
+	f.Add(encodeEvents(f, meta, nil, 0))
+	f.Add(valid[:len(valid)-1])                            // clipped footer suffix
+	f.Add(valid[:len(valid)-indexSuffixLen])               // suffix gone entirely
+	f.Add(append(append([]byte(nil), valid...), valid...)) // concatenated traces
+	mutOff := append([]byte(nil), valid...)
+	mutOff[len(mutOff)-indexSuffixLen-1] ^= 0x40 // corrupt an index varint
+	f.Add(mutOff)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pr, err := OpenIndexed(bytes.NewReader(data), int64(len(data)), ParallelOptions{Workers: 2})
+		if err != nil {
+			return // structured rejection; FuzzDecode covers the serial side
+		}
+		defer pr.Close()
+		got, gotErr := Collect(pr)
+
+		sr, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("indexed open accepted a stream the serial reader rejects at the header: %v", err)
+		}
+		want, wantErr := Collect(sr)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("indexed decode err = %v, serial decode err = %v", gotErr, wantErr)
+		}
+		if gotErr != nil {
+			return // both rejected the body; the errors need not match textually
+		}
+		if got.Len() != want.Len() {
+			t.Fatalf("indexed decode yielded %d events, serial %d", got.Len(), want.Len())
+		}
+		for i := range want.Events {
+			if got.Events[i] != want.Events[i] {
+				t.Fatalf("event %d: indexed %+v != serial %+v", i, got.Events[i], want.Events[i])
+			}
 		}
 	})
 }

@@ -1,0 +1,231 @@
+// The chunk index: a footer appended after the trailer by version ≥ 3
+// writers, mapping every chunk to its file offset and event count. Because
+// the fixed-width suffix (payload length + magic) sits at the very end of
+// the file, a seeking reader recovers the whole index with two ReadAt calls
+// and no stream decode — which is what partial replay (-from/-to) and
+// parallel-by-chunk decode (pdecode.go) build on.
+package stream
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// IndexMagic terminates the chunk-index footer of a version ≥ 3 stream.
+var IndexMagic = [4]byte{'T', 'S', 'M', 'I'}
+
+// indexSuffixLen is the fixed-width tail of the footer: an 8-byte little
+// endian payload length followed by IndexMagic.
+const indexSuffixLen = 12
+
+// ErrNoIndex is returned (wrapped) when a seeking open is attempted on a
+// stream too old to carry a chunk index (version 1 or 2). Callers fall back
+// to the serial streaming Reader.
+var ErrNoIndex = errors.New("stream: trace has no chunk index (codec version < 3)")
+
+// ChunkRef locates one chunk inside a trace file.
+type ChunkRef struct {
+	// Offset is the absolute file offset of the chunk's leading event-count
+	// uvarint.
+	Offset int64
+	// Length is the chunk's extent in bytes (count uvarint included).
+	Length int64
+	// Events is the number of events the chunk holds.
+	Events uint64
+	// Start is the sequence number of the chunk's first event.
+	Start uint64
+}
+
+// Index is the decoded chunk index of one trace file.
+type Index struct {
+	// Chunks lists every chunk in stream order.
+	Chunks []ChunkRef
+	// Events is the total event count (equal to the trailer's).
+	Events uint64
+	// End is the absolute file offset of the end-of-stream marker.
+	End int64
+}
+
+// appendFooter encodes the chunk-index footer (payload + suffix) for chunks
+// ending at the end-marker offset end, appending it to dst.
+func appendFooter(dst []byte, chunks []ChunkRef, end int64) []byte {
+	payloadStart := len(dst)
+	dst = binary.AppendUvarint(dst, uint64(len(chunks)))
+	prev := int64(0)
+	for _, c := range chunks {
+		dst = binary.AppendUvarint(dst, uint64(c.Offset-prev))
+		dst = binary.AppendUvarint(dst, c.Events)
+		prev = c.Offset
+	}
+	dst = binary.AppendUvarint(dst, uint64(end-prev))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(len(dst)-payloadStart))
+	return append(dst, IndexMagic[:]...)
+}
+
+// walkFooterPayload decodes a footer payload from r, invoking visit (when
+// non-nil) with each chunk's absolute offset and event count, and returns
+// the chunk count, the event-count sum and the absolute end-marker offset.
+// Structural bounds (monotonic offsets, per-chunk event limits) fail with
+// ErrCorrupt; an early end of input fails with ErrTruncated.
+func walkFooterPayload(r io.ByteReader, visit func(i int, offset int64, events uint64) error) (count, sum uint64, end int64, err error) {
+	count, err = binary.ReadUvarint(r)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("stream: reading footer chunk count: %w", errTrunc(err))
+	}
+	prev := int64(0)
+	for i := uint64(0); i < count; i++ {
+		d, err := binary.ReadUvarint(r)
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("stream: reading footer offset: %w", errTrunc(err))
+		}
+		if d > uint64(1)<<62 || (i > 0 && d == 0) {
+			return 0, 0, 0, fmt.Errorf("%w: footer offsets not increasing", ErrCorrupt)
+		}
+		off := prev + int64(d)
+		events, err := binary.ReadUvarint(r)
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("stream: reading footer event count: %w", errTrunc(err))
+		}
+		if events == 0 || events > maxChunkEvents {
+			return 0, 0, 0, fmt.Errorf("%w: footer chunk of %d events", ErrCorrupt, events)
+		}
+		sum += events
+		if visit != nil {
+			if err := visit(int(i), off, events); err != nil {
+				return 0, 0, 0, err
+			}
+		}
+		prev = off
+	}
+	d, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("stream: reading footer end offset: %w", errTrunc(err))
+	}
+	if d > uint64(1)<<62 || (count > 0 && d == 0) {
+		return 0, 0, 0, fmt.Errorf("%w: footer end offset not past last chunk", ErrCorrupt)
+	}
+	return count, sum, prev + int64(d), nil
+}
+
+// ReadIndex recovers the chunk index of a version ≥ 3 trace of the given
+// size via ra, without decoding the stream. headerLen is the length of the
+// already-parsed header (see parseHeader). Every offset is validated
+// against the file extents and the footer is cross-checked against the
+// trailer, so a corrupt index fails here with ErrCorrupt rather than
+// sending decode workers to arbitrary offsets.
+func ReadIndex(ra io.ReaderAt, size, headerLen int64) (*Index, error) {
+	if size < headerLen+indexSuffixLen {
+		return nil, fmt.Errorf("stream: reading footer: %w", ErrTruncated)
+	}
+	var suffix [indexSuffixLen]byte
+	if _, err := ra.ReadAt(suffix[:], size-indexSuffixLen); err != nil {
+		return nil, fmt.Errorf("stream: reading footer suffix: %w", errTrunc(err))
+	}
+	if *(*[4]byte)(suffix[8:]) != IndexMagic {
+		return nil, fmt.Errorf("%w: bad footer magic", ErrCorrupt)
+	}
+	payloadLen := binary.LittleEndian.Uint64(suffix[:8])
+	if payloadLen == 0 || payloadLen > uint64(size-headerLen-indexSuffixLen) {
+		return nil, fmt.Errorf("%w: footer length %d", ErrCorrupt, payloadLen)
+	}
+	footerStart := size - indexSuffixLen - int64(payloadLen)
+	payload := make([]byte, payloadLen)
+	if _, err := ra.ReadAt(payload, footerStart); err != nil {
+		return nil, fmt.Errorf("stream: reading footer: %w", errTrunc(err))
+	}
+	pr := &posReader{r: newSliceScanner(payload)}
+	ix := &Index{}
+	_, sum, end, err := walkFooterPayload(pr, func(i int, offset int64, events uint64) error {
+		if offset < headerLen {
+			return fmt.Errorf("%w: footer offset %d inside header", ErrCorrupt, offset)
+		}
+		ix.Chunks = append(ix.Chunks, ChunkRef{Offset: offset, Events: events, Start: ix.Events})
+		ix.Events += events
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if pr.n != int64(payloadLen) {
+		return nil, fmt.Errorf("%w: footer length %d, decoded %d bytes", ErrCorrupt, payloadLen, pr.n)
+	}
+	if end >= footerStart {
+		return nil, fmt.Errorf("%w: footer end offset %d past footer", ErrCorrupt, end)
+	}
+	ix.End = end
+	// The chunks must tile the byte range [headerLen, end) exactly — chunk N
+	// ends where chunk N+1 begins by construction (Length below), so the only
+	// possible gap is between the header and the first chunk (or the end
+	// marker, for an empty trace). A gap would be bytes the index silently
+	// skips but a streaming decode reads: silent-corruption territory.
+	bodyStart := end
+	if len(ix.Chunks) > 0 {
+		bodyStart = ix.Chunks[0].Offset
+	}
+	if bodyStart != headerLen {
+		return nil, fmt.Errorf("%w: footer leaves a %d-byte gap after the header", ErrCorrupt, bodyStart-headerLen)
+	}
+	for i := range ix.Chunks {
+		next := end
+		if i+1 < len(ix.Chunks) {
+			next = ix.Chunks[i+1].Offset
+		}
+		ix.Chunks[i].Length = next - ix.Chunks[i].Offset
+		// A chunk needs at least one count byte plus four bytes per event
+		// (kind, node, block delta, producer — one byte each at minimum).
+		if ix.Chunks[i].Length <= int64(ix.Chunks[i].Events)*4 {
+			return nil, fmt.Errorf("%w: footer chunk %d shorter than its events", ErrCorrupt, i)
+		}
+	}
+	// Cross-check the trailer: the bytes between the end marker and the
+	// footer must be exactly the end marker and a count matching the index.
+	tail := make([]byte, footerStart-end)
+	if _, err := ra.ReadAt(tail, end); err != nil {
+		return nil, fmt.Errorf("stream: reading trailer: %w", errTrunc(err))
+	}
+	tr := &posReader{r: newSliceScanner(tail)}
+	if marker, err := binary.ReadUvarint(tr); err != nil || marker != 0 {
+		return nil, fmt.Errorf("%w: end marker missing at footer end offset", ErrCorrupt)
+	}
+	total, err := binary.ReadUvarint(tr)
+	if err != nil {
+		return nil, fmt.Errorf("stream: reading trailer: %w", errTrunc(err))
+	}
+	if total != sum {
+		return nil, fmt.Errorf("%w: trailer count %d, footer counts %d", ErrCorrupt, total, sum)
+	}
+	if tr.n != int64(len(tail)) {
+		return nil, fmt.Errorf("%w: trailing data between trailer and footer", ErrCorrupt)
+	}
+	return ix, nil
+}
+
+// sliceScanner is a minimal byteScanner over a byte slice (bytes.Reader
+// would also do, but this keeps posReader's accounting exact and
+// allocation-free).
+type sliceScanner struct {
+	b   []byte
+	pos int
+}
+
+func newSliceScanner(b []byte) *sliceScanner { return &sliceScanner{b: b} }
+
+func (s *sliceScanner) Read(p []byte) (int, error) {
+	if s.pos >= len(s.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, s.b[s.pos:])
+	s.pos += n
+	return n, nil
+}
+
+func (s *sliceScanner) ReadByte() (byte, error) {
+	if s.pos >= len(s.b) {
+		return 0, io.EOF
+	}
+	b := s.b[s.pos]
+	s.pos++
+	return b, nil
+}

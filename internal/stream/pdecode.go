@@ -1,0 +1,387 @@
+// Parallel-by-chunk decode over the chunk index. Chunks are delta-reset at
+// their boundaries (codec.go), so each decodes independently: a dispatcher
+// hands chunk refs to N workers in stream order while enqueueing each
+// chunk's one-shot result channel onto a bounded window, and the consumer
+// drains the window in order — parallel execution, serial-identical output.
+// Chunk buffers recycle through a free list, so decode allocates
+// O(workers·chunk), not O(chunks).
+package stream
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"tsm/internal/obs"
+	"tsm/internal/trace"
+)
+
+// decodeWorkerLane0 is the tracer lane of the first decode worker. Pipeline
+// lanes are 0 (producer) and 1..N (consumers); decode workers sit far above
+// so the two groups never collide even for wide sweeps.
+const decodeWorkerLane0 = 1000
+
+// ParallelOptions configures an indexed (seeking, parallel) trace open.
+type ParallelOptions struct {
+	// Workers is the number of decode goroutines. Zero or negative selects
+	// one per core (Workers(0)); one still uses the indexed path — useful
+	// with From/To — just without decode concurrency.
+	Workers int
+	// From and To bound replay to events with sequence numbers in
+	// [From, To); To == 0 means the end of the trace. Events keep the
+	// sequence numbers they have in the full trace.
+	From, To uint64
+	// Metrics, when non-nil, receives per-worker and aggregate decode
+	// counters (stream.decode.*).
+	Metrics *obs.Registry
+	// Tracer, when non-nil, receives one span per decoded chunk on a lane
+	// per worker.
+	Tracer *obs.Tracer
+}
+
+// ParallelReader decodes an indexed trace with a pool of per-chunk workers,
+// merging chunks in stream order. It implements Source (and ChunkSource),
+// yields exactly the byte-for-byte event sequence of the serial Reader, and
+// must be Closed to release its goroutines.
+type ParallelReader struct {
+	meta  Meta
+	index *Index
+
+	results chan chan chunkResult
+	free    chan []trace.Event
+	stop    chan struct{}
+	wg      sync.WaitGroup
+
+	cur    []trace.Event // view into curBuf between lo and hi
+	curBuf []trace.Event
+	pos    int
+	err    error
+
+	selected uint64
+	consumed atomic.Uint64
+
+	closeOnce sync.Once
+	closeErr  error
+	closer    io.Closer
+}
+
+type job struct {
+	ref ChunkRef
+	out chan chunkResult
+}
+
+type chunkResult struct {
+	buf    []trace.Event
+	lo, hi int
+	err    error
+}
+
+// errReaderClosed surfaces on chunks abandoned by Close before dispatch.
+var errReaderClosed = fmt.Errorf("stream: parallel reader closed")
+
+// OpenFileParallel opens path via the chunk index for parallel decode,
+// failing with a wrapped ErrNoIndex on version 1/2 traces (callers fall
+// back to OpenFile) and ErrCorrupt on an invalid index. The caller must
+// Close the reader.
+func OpenFileParallel(path string, opt ParallelOptions) (*ParallelReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r, err := OpenIndexed(f, st.Size(), opt)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	r.closer = f
+	return r, nil
+}
+
+// OpenIndexed builds a ParallelReader over any random-access byte range
+// holding a complete version ≥ 3 stream (a file, or bytes.Reader in tests
+// and fuzzing). It does not take ownership of ra.
+func OpenIndexed(ra io.ReaderAt, size int64, opt ParallelOptions) (*ParallelReader, error) {
+	pr := &posReader{r: bufio.NewReader(io.NewSectionReader(ra, 0, size))}
+	meta, version, err := parseHeader(pr)
+	if err != nil {
+		return nil, err
+	}
+	if version < Version {
+		return nil, fmt.Errorf("version %d: %w", version, ErrNoIndex)
+	}
+	index, err := ReadIndex(ra, size, pr.n)
+	if err != nil {
+		return nil, err
+	}
+	if opt.To > 0 && opt.To < opt.From {
+		return nil, fmt.Errorf("stream: invalid event range [%d, %d)", opt.From, opt.To)
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = Workers(0)
+	}
+	sel := selectChunks(index, opt.From, opt.To)
+	// The window bounds in-flight chunks (decoded-but-unconsumed); a little
+	// beyond the worker count keeps workers from idling on a slow consumer.
+	window := workers + 2
+	r := &ParallelReader{
+		meta:     meta,
+		index:    index,
+		results:  make(chan chan chunkResult, window),
+		free:     make(chan []trace.Event, window+workers),
+		stop:     make(chan struct{}),
+		selected: uint64(len(sel)),
+	}
+	jobs := make(chan job)
+	r.wg.Add(1 + workers)
+	for i := 0; i < workers; i++ {
+		go r.worker(i, ra, jobs, opt)
+	}
+	go r.dispatch(sel, jobs, opt)
+	return r, nil
+}
+
+// selectChunks returns the chunks overlapping the event range [from, to).
+func selectChunks(ix *Index, from, to uint64) []ChunkRef {
+	lo, hi := 0, len(ix.Chunks)
+	for lo < hi && ix.Chunks[lo].Start+ix.Chunks[lo].Events <= from {
+		lo++
+	}
+	if to > 0 {
+		for hi > lo && ix.Chunks[hi-1].Start >= to {
+			hi--
+		}
+	}
+	return ix.Chunks[lo:hi]
+}
+
+// dispatch feeds chunk refs to the workers in stream order, enqueueing each
+// chunk's result channel onto the bounded window first so the consumer sees
+// chunks in exactly index order regardless of which worker finishes when.
+func (r *ParallelReader) dispatch(sel []ChunkRef, jobs chan<- job, opt ParallelOptions) {
+	defer r.wg.Done()
+	defer close(r.results)
+	defer close(jobs)
+	for _, ref := range sel {
+		out := make(chan chunkResult, 1)
+		select {
+		case r.results <- out:
+		case <-r.stop:
+			return
+		}
+		select {
+		case jobs <- job{ref: ref, out: out}:
+		case <-r.stop:
+			out <- chunkResult{err: errReaderClosed}
+			return
+		}
+	}
+}
+
+// worker decodes chunks from jobs until the channel closes, reusing one
+// section reader and one bufio buffer across chunks so per-chunk allocation
+// is limited to free-list misses.
+func (r *ParallelReader) worker(id int, ra io.ReaderAt, jobs <-chan job, opt ParallelOptions) {
+	defer r.wg.Done()
+	chunks := opt.Metrics.Counter(fmt.Sprintf("stream.decode.worker.%d.chunks", id))
+	events := opt.Metrics.Counter(fmt.Sprintf("stream.decode.worker.%d.events", id))
+	busyNs := opt.Metrics.Counter(fmt.Sprintf("stream.decode.worker.%d.busy_ns", id))
+	allChunks := opt.Metrics.Counter("stream.decode.chunks")
+	allEvents := opt.Metrics.Counter("stream.decode.events")
+	opt.Tracer.NameLane(decodeWorkerLane0+id, fmt.Sprintf("decode worker %d", id))
+	cr := &chunkByteReader{ra: ra}
+	br := bufio.NewReaderSize(cr, 32<<10)
+	for jb := range jobs {
+		var buf []trace.Event
+		select {
+		case buf = <-r.free:
+		default:
+		}
+		sp := opt.Tracer.Begin("chunk", "decode", decodeWorkerLane0+id)
+		res := decodeChunkAt(cr, br, jb.ref, buf)
+		if res.err == nil {
+			// Trim boundary chunks to the requested event range; events keep
+			// their full-trace sequence numbers.
+			if opt.From > jb.ref.Start {
+				res.lo = int(opt.From - jb.ref.Start)
+			}
+			if opt.To > 0 && opt.To < jb.ref.Start+uint64(res.hi) {
+				res.hi = int(opt.To - jb.ref.Start)
+			}
+			if res.hi < res.lo {
+				res.hi = res.lo
+			}
+		}
+		busyNs.Add(uint64(sp.Elapsed().Nanoseconds()))
+		sp.Arg("events", jb.ref.Events).Arg("offset", jb.ref.Offset).End()
+		if res.err == nil {
+			chunks.Inc()
+			allChunks.Inc()
+			events.Add(uint64(res.hi - res.lo))
+			allEvents.Add(uint64(res.hi - res.lo))
+		}
+		jb.out <- res
+	}
+}
+
+// chunkByteReader reads a [off, end) window of an io.ReaderAt, reusable
+// across chunks without per-chunk allocation.
+type chunkByteReader struct {
+	ra       io.ReaderAt
+	off, end int64
+}
+
+func (c *chunkByteReader) reset(off, end int64) { c.off, c.end = off, end }
+
+func (c *chunkByteReader) Read(p []byte) (int, error) {
+	if c.off >= c.end {
+		return 0, io.EOF
+	}
+	if max := c.end - c.off; int64(len(p)) > max {
+		p = p[:max]
+	}
+	n, err := c.ra.ReadAt(p, c.off)
+	c.off += int64(n)
+	if err == io.EOF && n > 0 {
+		err = nil
+	}
+	return n, err
+}
+
+// decodeChunkAt decodes the single chunk at ref into buf (grown as needed),
+// stamping sequence numbers from the chunk's index position. The decoded
+// count must match the index, so an offset seeded mid-chunk or into
+// arbitrary bytes fails with ErrCorrupt/ErrTruncated instead of yielding a
+// silently different stream.
+func decodeChunkAt(cr *chunkByteReader, br *bufio.Reader, ref ChunkRef, buf []trace.Event) chunkResult {
+	cr.reset(ref.Offset, ref.Offset+ref.Length)
+	br.Reset(cr)
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return chunkResult{buf: buf, err: fmt.Errorf("stream: reading chunk count: %w", errTrunc(err))}
+	}
+	if n != ref.Events {
+		return chunkResult{buf: buf, err: fmt.Errorf("%w: chunk at offset %d holds %d events, index says %d", ErrCorrupt, ref.Offset, n, ref.Events)}
+	}
+	events, err := appendChunkEvents(br, n, buf[:0])
+	if err != nil {
+		return chunkResult{buf: events, err: err}
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return chunkResult{buf: events, err: fmt.Errorf("%w: chunk at offset %d longer than its index extent", ErrCorrupt, ref.Offset)}
+	}
+	for i := range events {
+		events[i].Seq = ref.Start + uint64(i)
+	}
+	return chunkResult{buf: events, lo: 0, hi: len(events)}
+}
+
+// Meta returns the stream metadata decoded from the header.
+func (r *ParallelReader) Meta() Meta { return r.meta }
+
+// Index returns the decoded chunk index.
+func (r *ParallelReader) Index() *Index { return r.index }
+
+// Fraction reports the fraction of selected chunks consumed so far, in
+// [0, 1]. Safe to call from any goroutine while another decodes.
+func (r *ParallelReader) Fraction() float64 {
+	if r.selected == 0 {
+		return 0
+	}
+	return float64(r.consumed.Load()) / float64(r.selected)
+}
+
+// Next implements Source, returning io.EOF after the last selected event
+// and exactly the error the serial Reader would surface otherwise.
+func (r *ParallelReader) Next() (trace.Event, error) {
+	if r.err != nil {
+		return trace.Event{}, r.err
+	}
+	for r.pos >= len(r.cur) {
+		if !r.fetch() {
+			return trace.Event{}, r.err
+		}
+	}
+	e := r.cur[r.pos]
+	r.pos++
+	return e, nil
+}
+
+// NextChunk implements ChunkSource: the remaining events of the current
+// chunk, valid until the next NextChunk/Next call.
+func (r *ParallelReader) NextChunk() ([]trace.Event, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
+	for r.pos >= len(r.cur) {
+		if !r.fetch() {
+			return nil, r.err
+		}
+	}
+	out := r.cur[r.pos:]
+	r.pos = len(r.cur)
+	return out, nil
+}
+
+// fetch advances to the next in-order chunk, recycling the previous chunk's
+// buffer; it reports false (with r.err set) at end of stream or on error.
+func (r *ParallelReader) fetch() bool {
+	if r.curBuf != nil {
+		select {
+		case r.free <- r.curBuf[:0]:
+		default:
+		}
+		r.cur, r.curBuf = nil, nil
+	}
+	for {
+		out, ok := <-r.results
+		if !ok {
+			r.err = io.EOF
+			return false
+		}
+		res := <-out
+		if res.err != nil {
+			r.err = res.err
+			return false
+		}
+		r.consumed.Add(1)
+		if res.hi <= res.lo {
+			select {
+			case r.free <- res.buf[:0]:
+			default:
+			}
+			continue
+		}
+		r.curBuf = res.buf
+		r.cur = res.buf[res.lo:res.hi]
+		r.pos = 0
+		return true
+	}
+}
+
+// Close stops the workers, waits for them, and closes the underlying file
+// (when opened via OpenFileParallel). Idempotent.
+func (r *ParallelReader) Close() error {
+	r.closeOnce.Do(func() {
+		close(r.stop)
+		// Drain the window so the dispatcher unblocks; every enqueued
+		// result channel is buffered and guaranteed a send, so nothing here
+		// can wedge.
+		for range r.results {
+		}
+		r.wg.Wait()
+		if r.closer != nil {
+			r.closeErr = r.closer.Close()
+		}
+	})
+	return r.closeErr
+}

@@ -8,14 +8,11 @@ package tsm
 // pinned to zero allocations by the obs tests).
 
 import (
-	"fmt"
 	"io"
-	"path/filepath"
 	"time"
 
 	"tsm/internal/obs"
 	"tsm/internal/pipeline"
-	"tsm/internal/stream"
 )
 
 // Metrics is a registry of atomic counters, gauges and log-bucket
@@ -91,52 +88,19 @@ func tseConsumerNames() []string { return []string{"coverage", "timing-base", "t
 // the same fused single-decode replay, reporting what it did through the
 // configured metrics registry, stage tracer and progress writer.
 func EvaluateTSEFileObserved(path string, ins Instrumentation) (Report, error) {
-	f, err := stream.OpenFile(path)
-	if err != nil {
-		return Report{}, err
-	}
-	pcfg, m := ins.pipelineConfig(tseConsumerNames())
-	p := ins.startProgress("replay "+filepath.Base(path), m, f.Fraction)
-	rep, err := evaluateTSESourceWith(pcfg, f, f.Meta())
-	p.Stop()
-	if err = stream.CloseMerge(f, err); err != nil {
-		return Report{}, fmt.Errorf("tsm: replaying %s: %w", path, err)
-	}
-	return rep, nil
+	return EvaluateTSEFileWith(path, ReplayConfig{}, ins)
 }
 
 // EvaluateAllFileObserved is EvaluateAllFile with instrumentation attached
 // (see EvaluateTSEFileObserved); the consumers are labelled with their
 // model names.
 func EvaluateAllFileObserved(path string, ins Instrumentation) ([]Report, error) {
-	f, err := stream.OpenFile(path)
-	if err != nil {
-		return nil, err
-	}
-	pcfg, m := ins.pipelineConfig(nil) // names resolved from the model specs
-	p := ins.startProgress("replay "+filepath.Base(path), m, f.Fraction)
-	reports, err := evaluateAllSourceWith(pcfg, f, f.Meta())
-	p.Stop()
-	if err = stream.CloseMerge(f, err); err != nil {
-		return nil, fmt.Errorf("tsm: replaying %s: %w", path, err)
-	}
-	return reports, nil
+	return EvaluateAllFileWith(path, ReplayConfig{}, ins)
 }
 
 // EvaluateTSESweepFileObserved is EvaluateTSESweepFile with instrumentation
 // attached: per-cell consumer throughput lands in the metrics registry and
 // one trace lane per sweep cell, labelled with the cell labels ("LA=8").
 func EvaluateTSESweepFileObserved(path, sweep string, ins Instrumentation) ([]SweepCell, error) {
-	f, err := stream.OpenFile(path)
-	if err != nil {
-		return nil, err
-	}
-	pcfg, m := ins.pipelineConfig(nil) // names resolved from the cell labels
-	p := ins.startProgress("sweep "+filepath.Base(path), m, f.Fraction)
-	cells, err := evaluateTSESweepSourceWith(pcfg, f, f.Meta(), sweep)
-	p.Stop()
-	if err = stream.CloseMerge(f, err); err != nil {
-		return nil, fmt.Errorf("tsm: sweeping %s: %w", path, err)
-	}
-	return cells, nil
+	return EvaluateTSESweepFileWith(path, sweep, ReplayConfig{}, ins)
 }

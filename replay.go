@@ -91,17 +91,10 @@ func evaluateTSESourceWith(pcfg pipeline.Config, src EventSource, meta TraceMeta
 // the single pass feeds all three consumers (see EvaluateTSESource), using
 // the generation metadata embedded in the file. The trace is never
 // materialized, and the Report is bit-identical to EvaluateTSE over
-// LoadTrace's in-memory events and to EvaluateTSEFileMultipass.
+// LoadTrace's in-memory events and to EvaluateTSEFileMultipass. For parallel
+// decode or ranged replay, see EvaluateTSEFileWith.
 func EvaluateTSEFile(path string) (Report, error) {
-	f, err := stream.OpenFile(path)
-	if err != nil {
-		return Report{}, err
-	}
-	rep, err := EvaluateTSESource(f, f.Meta())
-	if err = stream.CloseMerge(f, err); err != nil {
-		return Report{}, fmt.Errorf("tsm: replaying %s: %w", path, err)
-	}
-	return rep, nil
+	return EvaluateTSEFileWith(path, ReplayConfig{}, Instrumentation{})
 }
 
 // EvaluateAllSource runs the Figure 12 comparison — stride, both GHB
@@ -149,17 +142,10 @@ func evaluateAllSourceWith(pcfg pipeline.Config, src EventSource, meta TraceMeta
 // EvaluateAllFile runs the Figure 12 comparison on a saved trace through the
 // fused streamed pipeline: the file is decoded exactly once and the single
 // pass feeds every model (see EvaluateAllSource). The reports are identical
-// to EvaluateAll over the loaded trace, in the same order.
+// to EvaluateAll over the loaded trace, in the same order. For parallel
+// decode or ranged replay, see EvaluateAllFileWith.
 func EvaluateAllFile(path string) ([]Report, error) {
-	f, err := stream.OpenFile(path)
-	if err != nil {
-		return nil, err
-	}
-	reports, err := EvaluateAllSource(f, f.Meta())
-	if err = stream.CloseMerge(f, err); err != nil {
-		return nil, fmt.Errorf("tsm: replaying %s: %w", path, err)
-	}
-	return reports, nil
+	return EvaluateAllFileWith(path, ReplayConfig{}, Instrumentation{})
 }
 
 // --- Multipass reference implementations ---------------------------------

@@ -1,0 +1,143 @@
+package tsm
+
+// Configurable file replay: how a saved trace is opened and decoded. Version
+// 3 trace files carry a chunk index (internal/stream, codec.go), so they can
+// be decoded by a pool of parallel per-chunk workers and replayed from an
+// arbitrary event range without streaming the prefix. ReplayConfig selects
+// those behaviours; the zero value is the classic serial streaming decode.
+// Every replay entry point funnels through the *With functions here —
+// EvaluateTSEFile and friends are thin wrappers over a zero ReplayConfig —
+// so serial and parallel decode share one code path and stay bit-identical
+// (pinned by differential tests at 1/4/8 workers across all workloads).
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+
+	"tsm/internal/stream"
+)
+
+// ReplayConfig selects how a trace file is decoded during replay. The zero
+// value reproduces the classic behaviour: one streaming decode pass over the
+// whole file.
+type ReplayConfig struct {
+	// DecodeWorkers selects parallel-by-chunk decode over the version 3
+	// chunk index: > 0 uses that many decode goroutines (1 still takes the
+	// indexed path, just without concurrency), < 0 picks one per core, and 0
+	// keeps the serial streaming decoder. On version 1/2 files — which have
+	// no index — parallel requests quietly fall back to the serial decoder
+	// unless an event range is set (ranged replay needs the index).
+	DecodeWorkers int
+	// From and To bound replay to events with sequence numbers in
+	// [From, To); To == 0 means the end of the trace. Events keep the
+	// sequence numbers they have in the full trace. Requires a version 3
+	// (indexed) trace file.
+	From, To uint64
+}
+
+// ranged reports whether the config restricts replay to an event sub-range.
+func (rc ReplayConfig) ranged() bool { return rc.From > 0 || rc.To > 0 }
+
+// wantsIndex reports whether the config needs the indexed (seeking) open at
+// all — any parallel-decode request or event range does.
+func (rc ReplayConfig) wantsIndex() bool { return rc.DecodeWorkers != 0 || rc.ranged() }
+
+// replaySource is what file replay needs from an open trace: the event
+// stream, the embedded generation metadata, a completion fraction for
+// progress/ETA, and a Close. Both the serial stream.FileReader and the
+// parallel stream.ParallelReader satisfy it.
+type replaySource interface {
+	EventSource
+	Meta() TraceMeta
+	Fraction() float64
+	Close() error
+}
+
+// openReplaySource opens path according to rc: the indexed parallel reader
+// when parallel decode or an event range was requested, the serial streaming
+// reader otherwise — or as the fallback when a parallel request hits a
+// pre-index (version 1/2) file. A ranged request on an unindexed file is an
+// error rather than a silently ignored range.
+func openReplaySource(path string, rc ReplayConfig, ins Instrumentation) (replaySource, error) {
+	if !rc.wantsIndex() {
+		return stream.OpenFile(path)
+	}
+	workers := rc.DecodeWorkers
+	if workers < 0 {
+		workers = 0 // one per core
+	}
+	pr, err := stream.OpenFileParallel(path, stream.ParallelOptions{
+		Workers: workers,
+		From:    rc.From,
+		To:      rc.To,
+		Metrics: ins.Metrics,
+		Tracer:  ins.Tracer,
+	})
+	if err == nil {
+		return pr, nil
+	}
+	if errors.Is(err, stream.ErrNoIndex) && !rc.ranged() {
+		return stream.OpenFile(path)
+	}
+	if errors.Is(err, stream.ErrNoIndex) {
+		return nil, fmt.Errorf("tsm: replaying %s from event %d: %w (regenerate the trace, or replay without -from/-to)", path, rc.From, err)
+	}
+	return nil, err
+}
+
+// EvaluateTSEFileWith is EvaluateTSEFile under an explicit replay
+// configuration and instrumentation: the same fused single-pass evaluation,
+// with the decode side configured by rc — parallel per-chunk workers over
+// the version 3 index, or a bounded event range. The Report for a full-range
+// replay is bit-identical at any worker count.
+func EvaluateTSEFileWith(path string, rc ReplayConfig, ins Instrumentation) (Report, error) {
+	f, err := openReplaySource(path, rc, ins)
+	if err != nil {
+		return Report{}, err
+	}
+	pcfg, m := ins.pipelineConfig(tseConsumerNames())
+	p := ins.startProgress("replay "+filepath.Base(path), m, f.Fraction)
+	rep, err := evaluateTSESourceWith(pcfg, f, f.Meta())
+	p.Stop()
+	if err = stream.CloseMerge(f, err); err != nil {
+		return Report{}, fmt.Errorf("tsm: replaying %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// EvaluateAllFileWith is EvaluateAllFile under an explicit replay
+// configuration and instrumentation (see EvaluateTSEFileWith).
+func EvaluateAllFileWith(path string, rc ReplayConfig, ins Instrumentation) ([]Report, error) {
+	f, err := openReplaySource(path, rc, ins)
+	if err != nil {
+		return nil, err
+	}
+	pcfg, m := ins.pipelineConfig(nil) // names resolved from the model specs
+	p := ins.startProgress("replay "+filepath.Base(path), m, f.Fraction)
+	reports, err := evaluateAllSourceWith(pcfg, f, f.Meta())
+	p.Stop()
+	if err = stream.CloseMerge(f, err); err != nil {
+		return nil, fmt.Errorf("tsm: replaying %s: %w", path, err)
+	}
+	return reports, nil
+}
+
+// EvaluateTSESweepFileWith is EvaluateTSESweepFile under an explicit replay
+// configuration and instrumentation: the whole sweep still rides ONE pass
+// over the file, but that pass may itself be decoded by parallel per-chunk
+// workers, or bounded to an event range.
+func EvaluateTSESweepFileWith(path, sweep string, rc ReplayConfig, ins Instrumentation) ([]SweepCell, error) {
+	f, err := openReplaySource(path, rc, ins)
+	if err != nil {
+		return nil, err
+	}
+	pcfg, m := ins.pipelineConfig(nil) // names resolved from the cell labels
+	p := ins.startProgress("sweep "+filepath.Base(path), m, f.Fraction)
+	cells, err := evaluateTSESweepSourceWith(pcfg, f, f.Meta(), sweep)
+	p.Stop()
+	if err = stream.CloseMerge(f, err); err != nil {
+		return nil, fmt.Errorf("tsm: sweeping %s: %w", path, err)
+	}
+	return cells, nil
+}

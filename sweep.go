@@ -17,7 +17,6 @@ import (
 	"tsm/internal/analysis"
 	"tsm/internal/experiments"
 	"tsm/internal/pipeline"
-	"tsm/internal/stream"
 	"tsm/internal/tse"
 )
 
@@ -129,14 +128,7 @@ func evaluateTSESweepSourceWith(pcfg pipeline.Config, src EventSource, meta Trac
 // trace with exactly one decode of the file: the whole sensitivity study —
 // every cell of the sweep — rides a single bounded-memory pass through the
 // ring fan-out engine, using the generation metadata embedded in the file.
+// For parallel decode or ranged replay, see EvaluateTSESweepFileWith.
 func EvaluateTSESweepFile(path, sweep string) ([]SweepCell, error) {
-	f, err := stream.OpenFile(path)
-	if err != nil {
-		return nil, err
-	}
-	cells, err := EvaluateTSESweepSource(f, f.Meta(), sweep)
-	if err = stream.CloseMerge(f, err); err != nil {
-		return nil, fmt.Errorf("tsm: sweeping %s: %w", path, err)
-	}
-	return cells, nil
+	return EvaluateTSESweepFileWith(path, sweep, ReplayConfig{}, Instrumentation{})
 }
