@@ -1,0 +1,387 @@
+// Command obsdiff compares two observability artifacts — engine metrics
+// snapshots (tsesim -metrics), run manifests (tsesim -manifest), or `go test
+// -json` benchmark output — and exits non-zero when the new file regresses
+// beyond per-metric thresholds. It replaces brittle grep-the-log CI gates
+// with a structured differ: every comparison names the metric, both values
+// and the relative change, so a failed gate says exactly what regressed.
+//
+// Usage:
+//
+//	obsdiff old.json new.json                      # default 25% threshold
+//	obsdiff -threshold 0.10 old.json new.json      # global 10%
+//	obsdiff -rule '*allocs_per_op=0' old new       # zero tolerance for allocs
+//	obsdiff -rule '*wall_ns=-1' old new            # ignore wall times
+//	obsdiff -warn '*ns_per_op' old new             # report but never fail
+//	obsdiff -require 'bench.*' old new             # fail if absent from new
+//	obsdiff -list old.json new.json                # print every comparison
+//
+// Input kinds are auto-detected per file:
+//
+//   - metrics snapshots flatten to their counter and gauge names, plus
+//     <name>.count/.sum/.mean/.p50/.p90/.p99 per histogram
+//   - run manifests flatten to stage.<name>.wall_ns plus the embedded
+//     metrics snapshot (when present)
+//   - `go test -json` streams flatten each benchmark result to
+//     bench.<Name>.ns_per_op/.b_per_op/.allocs_per_op/.mb_per_s, with the
+//     -<GOMAXPROCS> suffix stripped from the name
+//
+// Every metric is treated as higher-is-worse: a regression is
+// new > old * (1 + frac) for the metric's effective threshold frac (the
+// most specific matching -rule, else -threshold). Metrics at zero in the
+// old file and metrics missing from either side are skipped — except those
+// matching -require, whose absence from the new file is itself a failure.
+// Improvements never fail. Exit codes: 0 no regressions, 1 regressions (or
+// a missing -require metric), 2 usage or unreadable/unparseable input.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
+
+// rule is one -rule pattern: metrics matching Glob use Frac as threshold;
+// Frac < 0 means ignore the metric entirely.
+type rule struct {
+	Glob string
+	Frac float64
+}
+
+// run is main with its environment made explicit, so exit codes and output
+// are testable in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("obsdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		threshold = fs.Float64("threshold", 0.25, "default relative regression threshold (0.25 = fail when new > old*1.25)")
+		ruleFlags multiFlag
+		warnGlobs multiFlag
+		reqGlobs  multiFlag
+		list      = fs.Bool("list", false, "print every comparison, not just regressions")
+	)
+	fs.Var(&ruleFlags, "rule", "per-metric threshold as glob=frac (repeatable; frac < 0 ignores matches; most specific match wins)")
+	fs.Var(&warnGlobs, "warn", "glob of metrics whose regressions are reported but never fail the diff (repeatable)")
+	fs.Var(&reqGlobs, "require", "glob of metrics that must be present in the new file (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "obsdiff: usage: obsdiff [flags] old.json new.json")
+		return 2
+	}
+	rules, err := parseRules(ruleFlags)
+	if err != nil {
+		fmt.Fprintf(stderr, "obsdiff: %v\n", err)
+		return 2
+	}
+
+	oldM, err := loadMetrics(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "obsdiff: %v\n", err)
+		return 2
+	}
+	newM, err := loadMetrics(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "obsdiff: %v\n", err)
+		return 2
+	}
+
+	names := make([]string, 0, len(oldM))
+	for name := range oldM {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := 0
+	for _, name := range names {
+		old := oldM[name]
+		neu, ok := newM[name]
+		if !ok {
+			continue // absence is only a failure for -require metrics
+		}
+		frac, ignored := effectiveThreshold(name, rules, *threshold)
+		if ignored {
+			if *list {
+				fmt.Fprintf(stdout, "ignore  %-50s old=%g new=%g\n", name, old, neu)
+			}
+			continue
+		}
+		change := 0.0
+		if old != 0 {
+			change = (neu - old) / old
+		}
+		regressed := old != 0 && neu > old*(1+frac)
+		warn := regressed && matchAny(name, warnGlobs)
+		switch {
+		case regressed && !warn:
+			failed++
+			fmt.Fprintf(stdout, "FAIL    %-50s old=%g new=%g (%+.1f%% > +%.1f%%)\n", name, old, neu, 100*change, 100*frac)
+		case warn:
+			fmt.Fprintf(stdout, "warn    %-50s old=%g new=%g (%+.1f%% > +%.1f%%)\n", name, old, neu, 100*change, 100*frac)
+		case *list:
+			fmt.Fprintf(stdout, "ok      %-50s old=%g new=%g (%+.1f%%)\n", name, old, neu, 100*change)
+		}
+	}
+
+	for _, glob := range reqGlobs {
+		if !anyMatch(glob, newM) {
+			failed++
+			fmt.Fprintf(stdout, "FAIL    %-50s required but absent from %s\n", glob, fs.Arg(1))
+		}
+	}
+
+	if failed > 0 {
+		fmt.Fprintf(stdout, "obsdiff: %d regression(s)\n", failed)
+		return 1
+	}
+	if *list {
+		fmt.Fprintln(stdout, "obsdiff: no regressions")
+	}
+	return 0
+}
+
+// parseRules splits each glob=frac argument.
+func parseRules(args []string) ([]rule, error) {
+	rules := make([]rule, 0, len(args))
+	for _, arg := range args {
+		glob, frac, ok := strings.Cut(arg, "=")
+		if !ok || glob == "" {
+			return nil, fmt.Errorf("invalid -rule %q: want glob=frac", arg)
+		}
+		f, err := strconv.ParseFloat(frac, 64)
+		if err != nil {
+			return nil, fmt.Errorf("invalid -rule %q: %v", arg, err)
+		}
+		rules = append(rules, rule{Glob: glob, Frac: f})
+	}
+	return rules, nil
+}
+
+// effectiveThreshold picks the metric's threshold: the longest (most
+// specific) matching -rule glob wins, the global default otherwise. The
+// second return is true when the metric is ignored (frac < 0).
+func effectiveThreshold(name string, rules []rule, def float64) (float64, bool) {
+	best, bestLen := def, -1
+	for _, r := range rules {
+		if matchGlob(r.Glob, name) && len(r.Glob) > bestLen {
+			best, bestLen = r.Frac, len(r.Glob)
+		}
+	}
+	return best, best < 0
+}
+
+// matchGlob matches name against a path.Match-style glob. Metric names
+// contain '/' (sub-benchmark paths like bench.BenchmarkFileReplay/fused...)
+// which path.Match treats as a separator '*' cannot cross, so both sides are
+// rewritten onto a character that never appears in metric names — '*' then
+// spans the whole name, making "*allocs_per_op" match every benchmark.
+func matchGlob(glob, name string) bool {
+	const sub = "\x1f"
+	ok, err := path.Match(strings.ReplaceAll(glob, "/", sub), strings.ReplaceAll(name, "/", sub))
+	return err == nil && ok
+}
+
+func matchAny(name string, globs []string) bool {
+	for _, g := range globs {
+		if matchGlob(g, name) {
+			return true
+		}
+	}
+	return false
+}
+
+func anyMatch(glob string, metrics map[string]float64) bool {
+	for name := range metrics {
+		if matchGlob(glob, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// loadMetrics reads one artifact and flattens it to metric name → value,
+// auto-detecting the kind.
+func loadMetrics(pathName string) (map[string]float64, error) {
+	raw, err := os.ReadFile(pathName)
+	if err != nil {
+		return nil, err
+	}
+	m, err := flatten(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", pathName, err)
+	}
+	if len(m) == 0 {
+		return nil, fmt.Errorf("%s: no metrics recognized", pathName)
+	}
+	return m, nil
+}
+
+// snapshotDoc mirrors the obs.Snapshot JSON shape.
+type snapshotDoc struct {
+	Counters   map[string]float64 `json:"counters"`
+	Gauges     map[string]float64 `json:"gauges"`
+	Histograms map[string]struct {
+		Count float64 `json:"count"`
+		Sum   float64 `json:"sum"`
+		Mean  float64 `json:"mean"`
+		P50   float64 `json:"p50"`
+		P90   float64 `json:"p90"`
+		P99   float64 `json:"p99"`
+	} `json:"histograms"`
+}
+
+// manifestDoc mirrors the tsm.Manifest JSON shape.
+type manifestDoc struct {
+	Tool   string `json:"tool"`
+	Stages []struct {
+		Name   string  `json:"name"`
+		WallNs float64 `json:"wall_ns"`
+	} `json:"stages"`
+	Metrics *snapshotDoc `json:"metrics"`
+}
+
+// flatten auto-detects the artifact kind and flattens it: a single JSON
+// object is a manifest (has "tool") or a metrics snapshot (has "counters");
+// anything else — a `go test -json` event stream, or plain -bench output —
+// goes through the benchmark-line parser.
+func flatten(raw []byte) (map[string]float64, error) {
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &probe); err == nil {
+		if _, ok := probe["tool"]; ok {
+			var doc manifestDoc
+			if err := json.Unmarshal(raw, &doc); err != nil {
+				return nil, err
+			}
+			return flattenManifest(doc), nil
+		}
+		if _, ok := probe["counters"]; ok {
+			var doc snapshotDoc
+			if err := json.Unmarshal(raw, &doc); err != nil {
+				return nil, err
+			}
+			return flattenSnapshot(doc), nil
+		}
+	}
+	return flattenBench(raw)
+}
+
+func flattenSnapshot(doc snapshotDoc) map[string]float64 {
+	out := make(map[string]float64, len(doc.Counters)+len(doc.Gauges)+6*len(doc.Histograms))
+	for name, v := range doc.Counters {
+		out[name] = v
+	}
+	for name, v := range doc.Gauges {
+		out[name] = v
+	}
+	for name, h := range doc.Histograms {
+		out[name+".count"] = h.Count
+		out[name+".sum"] = h.Sum
+		out[name+".mean"] = h.Mean
+		out[name+".p50"] = h.P50
+		out[name+".p90"] = h.P90
+		out[name+".p99"] = h.P99
+	}
+	return out
+}
+
+func flattenManifest(doc manifestDoc) map[string]float64 {
+	out := map[string]float64{}
+	for _, st := range doc.Stages {
+		out["stage."+st.Name+".wall_ns"] = st.WallNs
+	}
+	if doc.Metrics != nil {
+		for name, v := range flattenSnapshot(*doc.Metrics) {
+			out[name] = v
+		}
+	}
+	return out
+}
+
+// flattenBench parses a `go test -json` stream (or plain `go test -bench`
+// output) and flattens each benchmark result line. The -json encoder splits
+// one result line across several Output events (the name flushes before the
+// numbers), so all Output payloads are concatenated back into the original
+// text before splitting it into lines.
+func flattenBench(raw []byte) (map[string]float64, error) {
+	var text strings.Builder
+	jsonEvents := false
+	sc := bufio.NewScanner(strings.NewReader(string(raw)))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(strings.TrimSpace(line), "{") {
+			continue
+		}
+		var ev struct {
+			Output string `json:"Output"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			continue
+		}
+		jsonEvents = true
+		text.WriteString(ev.Output)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	content := text.String()
+	if !jsonEvents {
+		content = string(raw) // plain `go test -bench` text
+	}
+	out := map[string]float64{}
+	for _, line := range strings.Split(content, "\n") {
+		parseBenchLine(strings.TrimSpace(line), out)
+	}
+	return out, nil
+}
+
+// parseBenchLine flattens one "BenchmarkX-16 1 123 ns/op 456 B/op ..." line.
+func parseBenchLine(line string, out map[string]float64) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i] // strip the -GOMAXPROCS suffix
+		}
+	}
+	units := map[string]string{
+		"ns/op":     "ns_per_op",
+		"B/op":      "b_per_op",
+		"allocs/op": "allocs_per_op",
+		"MB/s":      "mb_per_s",
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		suffix, ok := units[fields[i+1]]
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		out["bench."+name+"."+suffix] = v
+	}
+}

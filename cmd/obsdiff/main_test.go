@@ -1,0 +1,208 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// diff runs obsdiff in-process and returns (exit code, stdout, stderr).
+func diff(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// writeJSON drops content into a temp file and returns its path.
+func writeJSON(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestIdenticalInputsPass is half of the acceptance criterion: diffing a
+// file against itself finds nothing, exit 0.
+func TestIdenticalInputsPass(t *testing.T) {
+	code, out, errOut := diff(t, "testdata/bench_old.json", "testdata/bench_old.json")
+	if code != 0 {
+		t.Fatalf("identical inputs exited %d\nstdout:\n%s\nstderr:\n%s", code, out, errOut)
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Fatalf("identical inputs reported a regression:\n%s", out)
+	}
+}
+
+// TestAllocationRegressionFails is the other half: the fixture pair doubles
+// BenchmarkStreamedEvaluation's allocations, which must exit non-zero and
+// name the metric.
+func TestAllocationRegressionFails(t *testing.T) {
+	code, out, _ := diff(t, "testdata/bench_old.json", "testdata/bench_new_regressed.json")
+	if code != 1 {
+		t.Fatalf("2x allocation regression exited %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "bench.BenchmarkStreamedEvaluation.allocs_per_op") {
+		t.Fatalf("output does not name the regressed metric:\n%s", out)
+	}
+	if !strings.Contains(out, "FAIL") || !strings.Contains(out, "regression") {
+		t.Fatalf("output lacks FAIL line or summary:\n%s", out)
+	}
+	// The unregressed benchmarks (within the default 25%) stay quiet.
+	if strings.Contains(out, "bench.BenchmarkFileReplay/fused.allocs_per_op") {
+		t.Fatalf("output flags an unregressed metric:\n%s", out)
+	}
+}
+
+// TestRuleThresholds: a tight per-metric rule turns a small drift into a
+// failure; an ignore rule (frac < 0) silences even the doubled allocations.
+func TestRuleThresholds(t *testing.T) {
+	// 52.1k vs 52k allocs on FileReplay/fused is +0.19% — fails at frac=0.
+	code, out, _ := diff(t, "-rule", "bench.BenchmarkFileReplay/fused.allocs_per_op=0",
+		"-rule", "bench.BenchmarkStreamedEvaluation.*=-1",
+		"-rule", "bench.BenchmarkCodecDecode.*=-1",
+		"testdata/bench_old.json", "testdata/bench_new_regressed.json")
+	if code != 1 || !strings.Contains(out, "bench.BenchmarkFileReplay/fused.allocs_per_op") {
+		t.Fatalf("frac=0 rule did not catch the drift (exit %d):\n%s", code, out)
+	}
+
+	// Ignoring every allocs/bytes metric leaves only timing, all within 25%.
+	code, out, _ = diff(t, "-rule", "*=-1",
+		"testdata/bench_old.json", "testdata/bench_new_regressed.json")
+	if code != 0 {
+		t.Fatalf("global ignore rule still failed (exit %d):\n%s", code, out)
+	}
+
+	// Globs span '/' in sub-benchmark names: a zero-tolerance allocs rule
+	// catches the +0.19% drift on BenchmarkFileReplay/fused too.
+	code, out, _ = diff(t, "-rule", "*=-1", "-rule", "*allocs_per_op=0",
+		"testdata/bench_old.json", "testdata/bench_new_regressed.json")
+	if code != 1 || !strings.Contains(out, "bench.BenchmarkFileReplay/fused.allocs_per_op") {
+		t.Fatalf("glob did not cross '/' in benchmark names (exit %d):\n%s", code, out)
+	}
+}
+
+// TestWarnDowngradesToNonFatal: -warn metrics report but do not fail.
+func TestWarnDowngradesToNonFatal(t *testing.T) {
+	code, out, _ := diff(t, "-warn", "*allocs_per_op", "-warn", "*b_per_op",
+		"testdata/bench_old.json", "testdata/bench_new_regressed.json")
+	if code != 0 {
+		t.Fatalf("warned regression still failed (exit %d):\n%s", code, out)
+	}
+	if !strings.Contains(out, "warn") || !strings.Contains(out, "bench.BenchmarkStreamedEvaluation.allocs_per_op") {
+		t.Fatalf("warn line missing:\n%s", out)
+	}
+}
+
+// TestImprovementsNeverFail: lower values pass any threshold. Reversing the
+// fixture pair turns the doubled allocations into a halving, which must pass
+// even at zero tolerance.
+func TestImprovementsNeverFail(t *testing.T) {
+	code, out, _ := diff(t, "-rule", "*=-1", "-rule", "*allocs_per_op=0",
+		"testdata/bench_new_regressed.json", "testdata/bench_old.json")
+	if code != 0 {
+		t.Fatalf("allocation improvement failed the diff (exit %d):\n%s", code, out)
+	}
+}
+
+// TestRequirePresence: -require fails when no metric in the new file matches.
+func TestRequirePresence(t *testing.T) {
+	code, out, _ := diff(t, "-require", "bench.BenchmarkStreamedEvaluation.*",
+		"testdata/bench_old.json", "testdata/bench_new_regressed.json")
+	if code != 1 { // still 1: the allocation regression
+		t.Fatalf("exit %d\n%s", code, out)
+	}
+	code, out, _ = diff(t, "-rule", "*=-1", "-require", "bench.BenchmarkNoSuchThing.*",
+		"testdata/bench_old.json", "testdata/bench_new_regressed.json")
+	if code != 1 || !strings.Contains(out, "required but absent") {
+		t.Fatalf("missing -require metric not failed (exit %d):\n%s", code, out)
+	}
+}
+
+// TestSnapshotAndManifestInputs: the differ understands the other two
+// artifact kinds — metrics snapshots flatten counters/gauges/histogram
+// quantiles, manifests flatten stage wall times plus the embedded snapshot.
+func TestSnapshotAndManifestInputs(t *testing.T) {
+	oldSnap := writeJSON(t, "old.json", `{
+		"counters": {"pipeline.events_decoded": 1000, "pipeline.chunks_decoded": 10},
+		"gauges": {"pipeline.ring.occupancy_max": 4},
+		"histograms": {"pipeline.consumer_wait_ns": {"count": 10, "sum": 5000, "mean": 500, "p50": 400, "p90": 900, "p99": 1000}}
+	}`)
+	newSnap := writeJSON(t, "new.json", `{
+		"counters": {"pipeline.events_decoded": 1000, "pipeline.chunks_decoded": 25},
+		"gauges": {"pipeline.ring.occupancy_max": 4},
+		"histograms": {"pipeline.consumer_wait_ns": {"count": 10, "sum": 5000, "mean": 500, "p50": 400, "p90": 900, "p99": 1000}}
+	}`)
+	code, out, _ := diff(t, oldSnap, newSnap)
+	if code != 1 || !strings.Contains(out, "pipeline.chunks_decoded") {
+		t.Fatalf("snapshot counter regression not caught (exit %d):\n%s", code, out)
+	}
+
+	oldMan := writeJSON(t, "oldman.json", `{
+		"tool": "tsm", "version": "0.8.0",
+		"trace": {"path": "x.tsm", "bytes": 1, "codec_version": 3},
+		"replay": {"op": "replay-tse"},
+		"stages": [{"name": "open", "wall_ns": 1000}, {"name": "replay", "wall_ns": 50000}],
+		"metrics": {"counters": {"pipeline.events_decoded": 1000}}
+	}`)
+	newMan := writeJSON(t, "newman.json", `{
+		"tool": "tsm", "version": "0.8.0",
+		"trace": {"path": "x.tsm", "bytes": 1, "codec_version": 3},
+		"replay": {"op": "replay-tse"},
+		"stages": [{"name": "open", "wall_ns": 1100}, {"name": "replay", "wall_ns": 500000}],
+		"metrics": {"counters": {"pipeline.events_decoded": 1000}}
+	}`)
+	code, out, _ = diff(t, oldMan, newMan)
+	if code != 1 || !strings.Contains(out, "stage.replay.wall_ns") {
+		t.Fatalf("manifest stage regression not caught (exit %d):\n%s", code, out)
+	}
+	// Wall times ignored by rule: clean pass.
+	code, out, _ = diff(t, "-rule", "stage.*=-1", oldMan, newMan)
+	if code != 0 {
+		t.Fatalf("ignored stage times still failed (exit %d):\n%s", code, out)
+	}
+}
+
+// TestListMode prints every comparison including passing ones.
+func TestListMode(t *testing.T) {
+	code, out, _ := diff(t, "-list", "testdata/bench_old.json", "testdata/bench_old.json")
+	if code != 0 || !strings.Contains(out, "ok      bench.BenchmarkStreamedEvaluation.ns_per_op") {
+		t.Fatalf("-list output incomplete (exit %d):\n%s", code, out)
+	}
+	if !strings.Contains(out, "no regressions") {
+		t.Fatalf("-list lacks the summary:\n%s", out)
+	}
+}
+
+// TestBenchNameNormalization: the -16 GOMAXPROCS suffix is stripped, so
+// baselines recorded on one machine diff cleanly against another.
+func TestBenchNameNormalization(t *testing.T) {
+	oldB := writeJSON(t, "old.txt", "BenchmarkThing-16 \t 1 \t 100 ns/op \t 10 allocs/op\n")
+	newB := writeJSON(t, "new.txt", "BenchmarkThing-4 \t 1 \t 100 ns/op \t 30 allocs/op\n")
+	code, out, _ := diff(t, oldB, newB)
+	if code != 1 || !strings.Contains(out, "bench.BenchmarkThing.allocs_per_op") {
+		t.Fatalf("cross-GOMAXPROCS diff failed to match names (exit %d):\n%s", code, out)
+	}
+}
+
+// TestUsageErrors: wrong arity, malformed rules and unreadable inputs are
+// usage errors (exit 2), distinct from regressions (exit 1).
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := diff(t, "only-one.json"); code != 2 {
+		t.Fatalf("one arg exited %d, want 2", code)
+	}
+	if code, _, errOut := diff(t, "-rule", "nofrac", "a.json", "b.json"); code != 2 || !strings.Contains(errOut, "rule") {
+		t.Fatalf("bad -rule exited %d:\n%s", code, errOut)
+	}
+	if code, _, errOut := diff(t, filepath.Join(t.TempDir(), "missing.json"), "testdata/bench_old.json"); code != 2 || !strings.Contains(errOut, "obsdiff:") {
+		t.Fatalf("missing file exited %d:\n%s", code, errOut)
+	}
+	empty := writeJSON(t, "empty.json", "{}")
+	if code, _, errOut := diff(t, empty, empty); code != 2 || !strings.Contains(errOut, "no metrics recognized") {
+		t.Fatalf("unrecognized input exited %d:\n%s", code, errOut)
+	}
+}

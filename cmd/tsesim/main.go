@@ -48,8 +48,18 @@
 //	                   format; load at chrome://tracing or ui.perfetto.dev
 //	-progress          periodic events/sec (and, with -i, percent + ETA)
 //	                   lines on stderr during long runs
+//	-series out.json   with -i: dump per-consumer time-series of live
+//	                   cumulative state (coverage, SVB/CMOB occupancy,
+//	                   per-epoch latency quantiles), sampled at chunk
+//	                   boundaries, as JSON; the interval auto-sizes from the
+//	                   trace's indexed event count
+//	-manifest out.json with -i: dump a run manifest — trace SHA-256, codec
+//	                   version, chunk/event counts, workload metadata, replay
+//	                   settings, per-stage wall times and (with -metrics) the
+//	                   final metrics snapshot — as JSON
 //	-pprof addr        serve net/http/pprof on addr for the duration of the
 //	                   run, plus GET /metrics for a live registry snapshot
+//	                   (add ?format=prom for Prometheus text exposition)
 //
 // The output of each experiment is a plain-text table whose rows mirror the
 // corresponding table or figure in the paper; EXPERIMENTS.md records a
@@ -98,6 +108,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		quiet         = fs.Bool("quiet", false, "suppress progress messages")
 		metricsOut    = fs.String("metrics", "", "write an engine metrics snapshot (JSON) to this file after the run")
 		traceOut      = fs.String("trace", "", "write per-stage spans (Chrome trace-event JSON) to this file after the run")
+		seriesOut     = fs.String("series", "", "with -i: write per-consumer time-series of live cumulative state (JSON) to this file after the run")
+		manifestOut   = fs.String("manifest", "", "with -i: write a run manifest (trace provenance, stage wall times, final metrics; JSON) to this file after the run")
 		progress      = fs.Bool("progress", false, "print periodic throughput/ETA lines to stderr during the run")
 		pprofAddr     = fs.String("pprof", "", "serve net/http/pprof (plus /metrics) on this address for the duration of the run")
 	)
@@ -131,7 +143,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *progress {
 		ins.Progress = stderr
 	}
-	for _, out := range []string{*metricsOut, *traceOut} {
+	if *seriesOut != "" || *manifestOut != "" {
+		if *input == "" {
+			fmt.Fprintln(stderr, "tsesim: -series and -manifest record trace-file replay and need -i")
+			return 2
+		}
+		if *inmem || *multipass {
+			fmt.Fprintln(stderr, "tsesim: -series and -manifest ride the fused streamed path and cannot combine with -inmem or -multipass")
+			return 2
+		}
+		if *seriesOut != "" {
+			ins.Series = tsm.NewSeriesSet()
+		}
+		if *manifestOut != "" {
+			ins.Manifest = tsm.NewRunManifest()
+			ins.Manifest.SetCommand(append([]string{"tsesim"}, args...))
+		}
+	}
+	for _, out := range []string{*metricsOut, *traceOut, *seriesOut, *manifestOut} {
 		if out == "" {
 			continue
 		}
@@ -162,6 +191,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		if *traceOut != "" {
 			if err := ins.Tracer.WriteFile(*traceOut); err != nil {
+				fmt.Fprintf(stderr, "tsesim: %v\n", err)
+				return 1
+			}
+		}
+		if *seriesOut != "" {
+			if err := ins.Series.WriteFile(*seriesOut); err != nil {
+				fmt.Fprintf(stderr, "tsesim: %v\n", err)
+				return 1
+			}
+		}
+		if *manifestOut != "" {
+			if err := ins.Manifest.WriteFile(*manifestOut); err != nil {
 				fmt.Fprintf(stderr, "tsesim: %v\n", err)
 				return 1
 			}

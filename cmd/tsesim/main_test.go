@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -26,7 +27,12 @@ func writeTestTrace(t *testing.T) string {
 
 // generateSmallTrace streams one tiny db2 trace into path.
 func generateSmallTrace(path string) (err error) {
-	opts := tsm.Options{Nodes: 4, Scale: 0.05, Seed: 9}
+	return generateTraceScaled(path, 0.05)
+}
+
+// generateTraceScaled streams one db2 trace at the given scale into path.
+func generateTraceScaled(path string, scale float64) (err error) {
+	opts := tsm.Options{Nodes: 4, Scale: scale, Seed: 9}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -195,12 +201,121 @@ func TestRunObservedOutputsIdentical(t *testing.T) {
 	args := []string{"-i", path, "-quiet",
 		"-metrics", filepath.Join(dir, "m.json"),
 		"-trace", filepath.Join(dir, "t.json"),
+		"-series", filepath.Join(dir, "s.json"),
+		"-manifest", filepath.Join(dir, "run.json"),
 		"-progress"}
 	if code := run(args, &observed, &stderr); code != 0 {
 		t.Fatalf("observed replay exited %d\nstderr:\n%s", code, &stderr)
 	}
 	if plain.String() != observed.String() {
 		t.Fatalf("instrumentation changed stdout:\nplain:\n%s\nobserved:\n%s", &plain, &observed)
+	}
+}
+
+// TestRunSeriesAndManifest drives -series and -manifest end to end on a
+// trace large enough for double-digit epoch counts: the series carries ≥10
+// samples per consumer, the final "coverage" sample reproduces the report's
+// coverage byte for byte (same %.1f%% rendering), and the manifest records
+// the trace's provenance, the timed stages and the final metrics snapshot.
+func TestRunSeriesAndManifest(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db2.tsm")
+	if err := generateTraceScaled(path, 0.1); err != nil {
+		t.Fatalf("generating test trace: %v", err)
+	}
+	dir := t.TempDir()
+	seriesOut := filepath.Join(dir, "s.json")
+	manifestOut := filepath.Join(dir, "run.json")
+	metricsOut := filepath.Join(dir, "m.json")
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-i", path, "-quiet", "-series", seriesOut, "-manifest", manifestOut, "-metrics", metricsOut}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("observed replay exited %d\nstderr:\n%s", code, &stderr)
+	}
+
+	rawSeries, err := os.ReadFile(seriesOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.SeriesSnapshot
+	if err := json.Unmarshal(rawSeries, &snap); err != nil {
+		t.Fatalf("series file is not valid JSON: %v\n%s", err, rawSeries)
+	}
+	if snap.Interval == 0 {
+		t.Fatalf("series interval not auto-sized:\n%s", rawSeries)
+	}
+	for _, name := range []string{"coverage", "timing-base", "timing-tse"} {
+		if n := len(snap.Series[name].Points); n < 10 {
+			t.Fatalf("consumer %q has %d samples, want >= 10:\n%s", name, n, rawSeries)
+		}
+	}
+
+	rawManifest, err := os.ReadFile(manifestOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m tsm.Manifest
+	if err := json.Unmarshal(rawManifest, &m); err != nil {
+		t.Fatalf("manifest file is not valid JSON: %v\n%s", err, rawManifest)
+	}
+	if m.Tool != "tsm" || m.Version != tsm.ToolVersion {
+		t.Fatalf("manifest tool/version = %q/%q:\n%s", m.Tool, m.Version, rawManifest)
+	}
+	if len(m.Trace.SHA256) != 64 || m.Trace.Events == 0 || m.Trace.Workload != "db2" {
+		t.Fatalf("manifest trace provenance incomplete:\n%s", rawManifest)
+	}
+	if m.Replay.Op != "replay-tse" {
+		t.Fatalf("manifest op = %q:\n%s", m.Replay.Op, rawManifest)
+	}
+	if m.Metrics == nil || m.Metrics.Counters["pipeline.events_decoded"] != m.Trace.Events {
+		t.Fatalf("manifest metrics snapshot missing or wrong:\n%s", rawManifest)
+	}
+
+	// The final epoch sample IS the report: its cumulative coverage renders
+	// to the same byte sequence the stdout report printed.
+	pts := snap.Series["coverage"].Points
+	last := pts[len(pts)-1]
+	if last.Seq != m.Trace.Events-1 {
+		t.Fatalf("final sample at seq %d, want last event %d", last.Seq, m.Trace.Events-1)
+	}
+	rendered := fmt.Sprintf("coverage=%.1f%%", 100*last.Values["coverage"])
+	if !strings.Contains(stdout.String(), rendered) {
+		t.Fatalf("stdout report does not contain the final sample's coverage %q:\n%s", rendered, &stdout)
+	}
+	if got := fmt.Sprintf("consumptions=%d", int64(last.Values["consumptions"])); !strings.Contains(stdout.String(), got) {
+		t.Fatalf("stdout report does not contain the final sample's %q:\n%s", got, &stdout)
+	}
+}
+
+// TestRunSeriesFlagCombos pins the CLI contract of -series/-manifest:
+// replay-only (-i required) and fused-path-only (no -inmem/-multipass).
+func TestRunSeriesFlagCombos(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	cases := [][]string{
+		{"-series", "s.json"},   // no -i
+		{"-manifest", "m.json"}, // no -i
+		{"-i", "x.tsm", "-series", "s.json", "-multipass"},
+		{"-i", "x.tsm", "-manifest", "m.json", "-inmem"},
+	}
+	for _, args := range cases {
+		stdout.Reset()
+		stderr.Reset()
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Fatalf("%v exited %d, want 2\nstderr:\n%s", args, code, &stderr)
+		}
+		if !strings.Contains(stderr.String(), "tsesim:") {
+			t.Fatalf("%v: stderr lacks a usage error:\n%s", args, &stderr)
+		}
+	}
+	// An unwritable -series path fails fast, before the replay runs.
+	path := writeTestTrace(t)
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-i", path, "-series", filepath.Join(t.TempDir(), "no", "dir", "s.json")}, &stdout, &stderr); code != 1 {
+		t.Fatalf("unwritable -series exited %d, want 1\nstderr:\n%s", code, &stderr)
+	}
+	if !strings.Contains(stderr.String(), "not writable") {
+		t.Fatalf("stderr lacks the writability error:\n%s", &stderr)
 	}
 }
 

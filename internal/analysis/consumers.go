@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"tsm/internal/obs"
 	"tsm/internal/prefetch"
 	"tsm/internal/stream"
 	"tsm/internal/tse"
@@ -13,13 +14,22 @@ import (
 // caller to collect once the pipeline run returns. The Sweep evaluator
 // (sweep.go) builds directly on TSEConsumer: one consumer per sweep cell,
 // all riding a single pipeline.Run.
+//
+// Both consumers also satisfy pipeline.Sampler (again structurally): when
+// the run attaches an obs.SeriesSet, the pipeline pumps SampleAt at chunk
+// boundaries — on the consumer's own goroutine, between events — and the
+// consumer records its live cumulative state as one epoch sample. The final
+// flush lands a sample whose coverage equals the end-of-run report exactly
+// (tse.System.Probe does not flush; see LiveStats).
 
 // ModelConsumer evaluates one baseline prefetcher over its tee of the
 // stream. After a successful Run, Result holds the coverage summary.
 type ModelConsumer struct {
 	model prefetch.Model
-	// Result is the coverage summary, valid after Run returns nil.
+	// Result is the coverage summary. It is updated live during Run (the
+	// sampling pump reads it mid-stream) and complete once Run returns nil.
 	Result CoverageResult
+	series *obs.Series
 }
 
 // NewModelConsumer wraps a baseline prefetcher model.
@@ -29,9 +39,25 @@ func NewModelConsumer(m prefetch.Model) *ModelConsumer {
 
 // Run implements the pipeline consumer contract.
 func (c *ModelConsumer) Run(src stream.Source) error {
-	res, err := EvaluateModelStream(c.model, src)
-	c.Result = res
-	return err
+	c.Result = CoverageResult{Name: c.model.Name()}
+	return evaluateModelInto(c.model, src, &c.Result)
+}
+
+// AttachSeries implements pipeline.Sampler.
+func (c *ModelConsumer) AttachSeries(s *obs.Series) { c.series = s }
+
+// SampleAt implements pipeline.Sampler: one epoch sample of the live
+// cumulative coverage counts. Runs on the consumer's goroutine between
+// events.
+func (c *ModelConsumer) SampleAt(seq uint64, final bool) {
+	if !c.series.Ready(seq, final) {
+		return
+	}
+	c.series.Record(seq, map[string]float64{
+		"consumptions": float64(c.Result.Consumptions),
+		"covered":      float64(c.Result.Covered),
+		"coverage":     c.Result.Coverage(),
+	})
 }
 
 // TSEConsumer evaluates the trace-driven TSE coverage model over its tee of
@@ -43,7 +69,9 @@ type TSEConsumer struct {
 	// Result is the coverage summary, valid after Run returns nil.
 	Result CoverageResult
 	// Full is the complete TSE result, valid after Run returns nil.
-	Full tse.Result
+	Full   tse.Result
+	series *obs.Series
+	sys    *tse.System // live system while Run is in flight (sampling only)
 }
 
 // NewTSEConsumer wraps a TSE system model built from cfg at Run time.
@@ -51,9 +79,45 @@ func NewTSEConsumer(cfg tse.Config) *TSEConsumer {
 	return &TSEConsumer{cfg: cfg}
 }
 
-// Run implements the pipeline consumer contract.
+// Run implements the pipeline consumer contract. The system is built here
+// and exposed to SampleAt for the duration of the run; the final numbers are
+// bit-identical to EvaluateTSEStream (both are NewSystem + RunSource).
 func (c *TSEConsumer) Run(src stream.Source) error {
-	cov, full, err := EvaluateTSEStream(c.cfg, src)
-	c.Result, c.Full = cov, full
+	sys := tse.NewSystem(c.cfg)
+	c.sys = sys
+	full, err := sys.RunSource(src)
+	c.sys = nil
+	c.Result = CoverageResult{
+		Name:         sys.Name(),
+		Consumptions: full.Consumptions,
+		Covered:      full.Covered,
+		Fetched:      full.BlocksFetched,
+		Discards:     full.Discards,
+	}
+	c.Full = full
 	return err
+}
+
+// AttachSeries implements pipeline.Sampler.
+func (c *TSEConsumer) AttachSeries(s *obs.Series) { c.series = s }
+
+// SampleAt implements pipeline.Sampler: one epoch sample probed from the
+// live system — cumulative coverage plus the resident state (SVB occupancy,
+// CMOB storage) the end-of-run result cannot show. Runs on the consumer's
+// goroutine between events; outside Run (c.sys nil) it is a no-op.
+func (c *TSEConsumer) SampleAt(seq uint64, final bool) {
+	if c.sys == nil || !c.series.Ready(seq, final) {
+		return
+	}
+	ls := c.sys.Probe()
+	c.series.Record(seq, map[string]float64{
+		"consumptions": float64(ls.Consumptions),
+		"covered":      float64(ls.Covered),
+		"coverage":     ls.Coverage(),
+		"fetched":      float64(ls.BlocksFetched),
+		"discards":     float64(ls.Discards),
+		"streams":      float64(ls.StreamsAllocated),
+		"svb_resident": float64(ls.SVBResident),
+		"cmob_bytes":   float64(ls.CMOBBytes),
+	})
 }

@@ -15,13 +15,24 @@ import (
 // memory.
 func EvaluateModelStream(m prefetch.Model, src stream.Source) (CoverageResult, error) {
 	res := CoverageResult{Name: m.Name()}
+	err := evaluateModelInto(m, src, &res)
+	return res, err
+}
+
+// evaluateModelInto runs the model evaluation loop updating res IN PLACE
+// after every event, which is what lets a sampling consumer read live
+// cumulative state mid-run (ModelConsumer.SampleAt) — the counts at any
+// chunk boundary are exactly the counts a run truncated there would report.
+// Fetched/Discards are only known at Finish and set on a clean end of
+// stream.
+func evaluateModelInto(m prefetch.Model, src stream.Source, res *CoverageResult) error {
 	for {
 		e, err := src.Next()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return res, err
+			return err
 		}
 		switch e.Kind {
 		case trace.KindConsumption:
@@ -34,7 +45,7 @@ func EvaluateModelStream(m prefetch.Model, src stream.Source) (CoverageResult, e
 		}
 	}
 	res.Fetched, res.Discards = m.Finish()
-	return res, nil
+	return nil
 }
 
 // ModelSpec describes a lazily constructed model for parallel evaluation.

@@ -4,6 +4,9 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -46,9 +49,134 @@ func TestServeDebug(t *testing.T) {
 	}
 }
 
+// TestServeDebugProm: /metrics?format=prom serves the Prometheus text
+// exposition with the 0.0.4 content type.
+func TestServeDebugProm(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pipeline.events_decoded").Add(7)
+	r.Counter("pipeline.consumer.LA=8.events").Add(3)
+	addr, shutdown, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	resp, err := http.Get("http://" + addr + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics?format=prom status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("content type = %q", ct)
+	}
+	out := string(body)
+	if !strings.Contains(out, "tsm_pipeline_events_decoded 7\n") {
+		t.Fatalf("exposition missing counter:\n%s", out)
+	}
+	if !strings.Contains(out, `tsm_pipeline_consumer_events{consumer="LA=8"} 3`) {
+		t.Fatalf("exposition missing labelled series:\n%s", out)
+	}
+}
+
 // TestServeDebugBadAddr: a bad listen address fails synchronously.
 func TestServeDebugBadAddr(t *testing.T) {
 	if _, _, err := ServeDebug("256.256.256.256:99999", nil); err == nil {
 		t.Fatal("bad address did not error")
 	}
+}
+
+// TestServeDebugConcurrent hammers both /metrics formats while writer
+// goroutines update the registry — the snapshot path must be race-free
+// (meaningful under -race) and every response must parse.
+func TestServeDebugConcurrent(t *testing.T) {
+	r := NewRegistry()
+	addr, shutdown, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("hot")
+			h := r.Histogram("lat")
+			for i := 0; !stop.Load(); i++ {
+				c.Inc()
+				h.Observe(uint64(i))
+			}
+		}(w)
+	}
+	for i := 0; i < 25; i++ {
+		url := "http://" + addr + "/metrics"
+		if i%2 == 1 {
+			url += "?format=prom"
+		}
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d status %d", i, resp.StatusCode)
+		}
+		if i%2 == 0 {
+			var snap Snapshot
+			if err := json.Unmarshal(body, &snap); err != nil {
+				t.Fatalf("request %d: invalid JSON under load: %v", i, err)
+			}
+		} else if !strings.Contains(string(body), "# TYPE") {
+			t.Fatalf("request %d: prom exposition empty under load:\n%s", i, body)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
+// TestServeDebugShutdownInFlight: shutting the server down while requests
+// are in flight must not hang or panic; requests racing the close either
+// complete or fail cleanly, and the listener is released.
+func TestServeDebugShutdownInFlight(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(1)
+	addr, shutdown, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 20; i++ {
+				resp, err := http.Get("http://" + addr + "/metrics?format=prom")
+				if err != nil {
+					return // connection refused/reset after close: fine
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	close(start)
+	shutdown()
+	wg.Wait()
+
+	// The port is free again: a second server can bind it.
+	_, shutdown2, err := ServeDebug(addr, nil)
+	if err != nil {
+		t.Fatalf("rebinding %s after shutdown: %v", addr, err)
+	}
+	shutdown2()
 }

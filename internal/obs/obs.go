@@ -27,11 +27,9 @@ package obs
 
 import (
 	"encoding/json"
-	"fmt"
 	"io"
 	"math"
 	"math/bits"
-	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -145,10 +143,14 @@ func BucketUpperBound(i int) uint64 {
 }
 
 // HistogramSnapshot is the exported state of one Histogram: total count and
-// sum plus the non-empty buckets in ascending bound order.
+// sum, interpolated quantile estimates, plus the non-empty buckets in
+// ascending bound order.
 type HistogramSnapshot struct {
 	Count   uint64   `json:"count"`
 	Sum     uint64   `json:"sum"`
+	P50     float64  `json:"p50"`
+	P90     float64  `json:"p90"`
+	P99     float64  `json:"p99"`
 	Buckets []Bucket `json:"buckets,omitempty"`
 }
 
@@ -167,6 +169,51 @@ func (s HistogramSnapshot) Mean() float64 {
 	return float64(s.Sum) / float64(s.Count)
 }
 
+// Quantile estimates the q-quantile (q in [0,1]) of the observed values by
+// linear interpolation within the log2 bucket the target rank falls in:
+// bucket i ≥ 1 spans [2^(i-1), 2^i - 1], and the estimate assumes the
+// bucket's observations are spread evenly over that span (bucket 0 holds
+// exactly the value 0). The estimate is therefore never outside the true
+// bucket's bounds. Returns 0 with no observations.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := 0.0
+	for _, b := range s.Buckets {
+		n := float64(b.N)
+		if cum+n >= rank {
+			lo, hi := bucketLowerBound(b.Le), float64(b.Le)
+			if n == 0 {
+				return hi
+			}
+			frac := (rank - cum) / n
+			return lo + (hi-lo)*frac
+		}
+		cum += n
+	}
+	if len(s.Buckets) == 0 {
+		return 0
+	}
+	return float64(s.Buckets[len(s.Buckets)-1].Le)
+}
+
+// bucketLowerBound returns the inclusive lower bound of the bucket whose
+// inclusive upper bound is le: 0 for the zero bucket, 2^(i-1) for the rest.
+func bucketLowerBound(le uint64) float64 {
+	if le == 0 {
+		return 0
+	}
+	return float64(le/2 + 1)
+}
+
 // snapshot captures the histogram. The reads are individually atomic but not
 // mutually: a concurrent Observe may land between them, which is fine for
 // monitoring — quiescent snapshots (every producer finished) are exact.
@@ -179,7 +226,19 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	}
 	s.Count = h.count.Load()
 	s.Sum = h.sum.Load()
+	s.P50 = s.Quantile(0.50)
+	s.P90 = s.Quantile(0.90)
+	s.P99 = s.Quantile(0.99)
 	return s
+}
+
+// Snapshot captures the histogram's exported state (zero on the nil
+// Histogram). See snapshot for the atomicity caveat.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	return h.snapshot()
 }
 
 // Registry is a named collection of metrics. The zero value is NOT a
@@ -312,20 +371,10 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	return enc.Encode(r.Snapshot())
 }
 
-// WriteFile writes the registry snapshot as indented JSON to a new file at
-// path, failing with a clear error if the file cannot be created or written.
-func (r *Registry) WriteFile(path string) (err error) {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("obs: writing metrics: %w", err)
-	}
-	defer func() {
-		if cerr := f.Close(); err == nil && cerr != nil {
-			err = fmt.Errorf("obs: writing metrics: %w", cerr)
-		}
-	}()
-	if err := r.WriteJSON(f); err != nil {
-		return fmt.Errorf("obs: writing metrics %s: %w", path, err)
-	}
-	return nil
+// WriteFile writes the registry snapshot as indented JSON to path,
+// atomically: the snapshot lands in a temp file renamed over path only once
+// complete, so a killed run never leaves truncated JSON (see
+// WriteFileAtomic).
+func (r *Registry) WriteFile(path string) error {
+	return WriteFileAtomic(path, r.WriteJSON)
 }

@@ -88,6 +88,86 @@ func TestHistogramMean(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantiles pins the interpolated quantile estimates against
+// hand-computed values on known bucket layouts.
+func TestHistogramQuantiles(t *testing.T) {
+	// All mass in the zero bucket: every quantile is 0.
+	var h0 Histogram
+	h0.Observe(0)
+	h0.Observe(0)
+	if s := h0.snapshot(); s.P50 != 0 || s.P99 != 0 {
+		t.Fatalf("zero-bucket quantiles = %+v", s)
+	}
+
+	// 10 observations in bucket le=7 (span [4,7]): q interpolates linearly
+	// across the span — Quantile(0.5) lands at 4 + 3*0.5 = 5.5.
+	var h1 Histogram
+	for i := 0; i < 10; i++ {
+		h1.Observe(5)
+	}
+	s1 := h1.snapshot()
+	if got := s1.Quantile(0.5); got != 5.5 {
+		t.Fatalf("single-bucket P50 = %g, want 5.5", got)
+	}
+	if got := s1.Quantile(0); got != 4 {
+		t.Fatalf("Quantile(0) = %g, want bucket lower bound 4", got)
+	}
+	if got := s1.Quantile(1); got != 7 {
+		t.Fatalf("Quantile(1) = %g, want bucket upper bound 7", got)
+	}
+
+	// Mass split across buckets: 90 in le=1, 10 in le=15 (span [8,15]).
+	// Rank 50 stays in the first bucket; rank 99 is the 9th of 10 in the
+	// second: 8 + 7*(9/10) = 14.3.
+	var h2 Histogram
+	for i := 0; i < 90; i++ {
+		h2.Observe(1)
+	}
+	for i := 0; i < 10; i++ {
+		h2.Observe(9)
+	}
+	s2 := h2.snapshot()
+	if s2.P50 < 0.5 || s2.P50 > 1 {
+		t.Fatalf("two-bucket P50 = %g, want within le=1 bucket", s2.P50)
+	}
+	if got := s2.Quantile(0.99); got != 14.3 {
+		t.Fatalf("two-bucket P99 = %g, want 14.3", got)
+	}
+	// Estimates never escape the true bucket's bounds.
+	if s2.P99 < 8 || s2.P99 > 15 {
+		t.Fatalf("P99 = %g escaped bucket [8,15]", s2.P99)
+	}
+
+	// Out-of-range q clamps; the empty snapshot is 0 everywhere.
+	if got := s1.Quantile(-1); got != 4 {
+		t.Fatalf("Quantile(-1) = %g, want clamp to 4", got)
+	}
+	if got := s1.Quantile(2); got != 7 {
+		t.Fatalf("Quantile(2) = %g, want clamp to 7", got)
+	}
+	if (HistogramSnapshot{}).Quantile(0.5) != 0 {
+		t.Fatal("empty snapshot quantile should be 0")
+	}
+
+	// The JSON snapshot carries the quantiles.
+	var buf bytes.Buffer
+	r := NewRegistry()
+	rh := r.Histogram("lat")
+	for i := 0; i < 10; i++ {
+		rh.Observe(5)
+	}
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Histograms["lat"].P50; got != 5.5 {
+		t.Fatalf("JSON p50 = %g, want 5.5", got)
+	}
+}
+
 // TestSnapshotDeterminism: registering the same metrics in different orders
 // and snapshotting twice must produce byte-identical JSON.
 func TestSnapshotDeterminism(t *testing.T) {
@@ -206,6 +286,7 @@ func TestNilRegistryIsNoop(t *testing.T) {
 func TestNopAllocs(t *testing.T) {
 	var r *Registry
 	var tr *Tracer
+	var ss *SeriesSet
 	allocs := testing.AllocsPerRun(1000, func() {
 		c := r.Counter("c")
 		c.Inc()
@@ -219,6 +300,9 @@ func TestNopAllocs(t *testing.T) {
 		sp.End()
 		var p *Progress
 		p.Stop()
+		s := ss.Series("x")
+		s.Ready(1, false)
+		s.Record(1, nil)
 	})
 	if allocs != 0 {
 		t.Fatalf("no-op instrumentation allocates %v B-ish allocs/op, want 0", allocs)
@@ -231,12 +315,14 @@ func BenchmarkNop(b *testing.B) {
 	b.ReportAllocs()
 	var r *Registry
 	var tr *Tracer
+	var ss *SeriesSet
 	for i := 0; i < b.N; i++ {
 		c := r.Counter("c")
 		c.Inc()
 		r.Gauge("g").SetMax(int64(i))
 		r.Histogram("h").Observe(uint64(i))
 		tr.Begin("x", "y", 0).End()
+		ss.Series("s").Ready(uint64(i), false)
 	}
 }
 

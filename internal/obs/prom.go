@@ -1,0 +1,176 @@
+package obs
+
+// Prometheus text exposition (format 0.0.4) for the live registry, so the
+// debug endpoint a future `tsesim serve` grows out of can be scraped by a
+// stock Prometheus without an adapter. The mapping from the registry's flat
+// dotted names is stable and purely mechanical:
+//
+//   - every metric family is prefixed "tsm_" and has the dots (and any other
+//     character outside [a-zA-Z0-9_]) of its dotted name replaced by '_':
+//     "pipeline.events_decoded" → tsm_pipeline_events_decoded;
+//   - the per-consumer names "pipeline.consumer.<label>.<field>" collapse
+//     into ONE family per field with the label carried as a Prometheus label
+//     pair: "pipeline.consumer.LA=8.stall_ns" →
+//     tsm_pipeline_consumer_stall_ns{consumer="LA=8"} — so a sweep's cells
+//     are series of one family instead of a family per cell;
+//   - counters and gauges map to their Prometheus types; histograms export
+//     the standard cumulative _bucket/_sum/_count triple with inclusive
+//     upper bounds as the le label (the log2 bucket bounds are already
+//     inclusive) plus the mandatory le="+Inf" bucket.
+//
+// Families and series are emitted in sorted order, so equal registry state
+// writes identical bytes (same determinism contract as the JSON snapshot).
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// promConsumerPrefix is the dotted prefix whose metrics collapse into
+// labelled families.
+const promConsumerPrefix = "pipeline.consumer."
+
+// promName sanitizes a dotted metric name into a Prometheus family name.
+func promName(name string) string {
+	var sb strings.Builder
+	sb.Grow(len(name) + 4)
+	sb.WriteString("tsm_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// promEscape escapes a label value per the text format: backslash, double
+// quote and newline.
+func promEscape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// promSplit maps a dotted name to its family name and label set. Consumer
+// metrics ("pipeline.consumer.<label>.<field>") become one family per field
+// with a consumer label; everything else is an unlabelled family.
+func promSplit(name string) (family, labels string) {
+	if rest, ok := strings.CutPrefix(name, promConsumerPrefix); ok {
+		if i := strings.LastIndexByte(rest, '.'); i > 0 {
+			label, field := rest[:i], rest[i+1:]
+			return promName("pipeline.consumer." + field), `consumer="` + promEscape(label) + `"`
+		}
+	}
+	return promName(name), ""
+}
+
+// promSample is one output line's worth of family state.
+type promSample struct {
+	labels string
+	value  string
+	hist   *HistogramSnapshot
+}
+
+// promFamily accumulates the samples of one family.
+type promFamily struct {
+	typ     string // "counter", "gauge", "histogram"
+	samples []promSample
+}
+
+// WriteProm writes the snapshot in the Prometheus text exposition format
+// 0.0.4. Output is deterministic for equal snapshots.
+func WriteProm(w io.Writer, s Snapshot) error {
+	fams := map[string]*promFamily{}
+	add := func(name, typ string, sample promSample) {
+		family, labels := promSplit(name)
+		sample.labels = labels
+		f, ok := fams[family]
+		if !ok {
+			f = &promFamily{typ: typ}
+			fams[family] = f
+		}
+		f.samples = append(f.samples, sample)
+	}
+	for name, v := range s.Counters {
+		add(name, "counter", promSample{value: fmt.Sprintf("%d", v)})
+	}
+	for name, v := range s.Gauges {
+		add(name, "gauge", promSample{value: fmt.Sprintf("%d", v)})
+	}
+	for name := range s.Histograms {
+		h := s.Histograms[name]
+		add(name, "histogram", promSample{hist: &h})
+	}
+
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, family := range names {
+		f := fams[family]
+		sort.Slice(f.samples, func(i, j int) bool { return f.samples[i].labels < f.samples[j].labels })
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", family, f.typ); err != nil {
+			return err
+		}
+		for _, sm := range f.samples {
+			var err error
+			if sm.hist != nil {
+				err = writePromHistogram(w, family, sm.labels, *sm.hist)
+			} else if sm.labels != "" {
+				_, err = fmt.Fprintf(w, "%s{%s} %s\n", family, sm.labels, sm.value)
+			} else {
+				_, err = fmt.Fprintf(w, "%s %s\n", family, sm.value)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writePromHistogram emits the cumulative _bucket/_sum/_count triple of one
+// histogram series. The snapshot's per-bucket counts are non-cumulative with
+// inclusive upper bounds, which is exactly the le convention once summed.
+func writePromHistogram(w io.Writer, family, labels string, h HistogramSnapshot) error {
+	join := func(extra string) string {
+		if labels == "" {
+			return extra
+		}
+		if extra == "" {
+			return labels
+		}
+		return labels + "," + extra
+	}
+	var cum uint64
+	for _, b := range h.Buckets {
+		cum += b.N
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", family, join(fmt.Sprintf("le=%q", fmt.Sprintf("%d", b.Le))), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", family, join(`le="+Inf"`), h.Count); err != nil {
+		return err
+	}
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + labels + "}"
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", family, suffix, h.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", family, suffix, h.Count)
+	return err
+}
+
+// WriteProm writes the registry's current state in the Prometheus text
+// exposition format 0.0.4 (an empty exposition on the nil Registry).
+func (r *Registry) WriteProm(w io.Writer) error {
+	return WriteProm(w, r.Snapshot())
+}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestPromNames pins the dotted-name → family-name mapping and the consumer
+// label collapse.
+func TestPromNames(t *testing.T) {
+	cases := []struct {
+		name   string
+		family string
+		labels string
+	}{
+		{"pipeline.events_decoded", "tsm_pipeline_events_decoded", ""},
+		{"pipeline.ring.occupancy_peak", "tsm_pipeline_ring_occupancy_peak", ""},
+		{"pipeline.consumer.LA=8.stall_ns", "tsm_pipeline_consumer_stall_ns", `consumer="LA=8"`},
+		{"pipeline.consumer.timing-tse.events", "tsm_pipeline_consumer_events", `consumer="timing-tse"`},
+		// A consumer prefix without a field part falls back to plain mapping.
+		{"pipeline.consumer.odd", "tsm_pipeline_consumer_odd", ""},
+	}
+	for _, tc := range cases {
+		family, labels := promSplit(tc.name)
+		if family != tc.family || labels != tc.labels {
+			t.Fatalf("promSplit(%q) = %q, %q; want %q, %q", tc.name, family, labels, tc.family, tc.labels)
+		}
+	}
+	if got := promEscape(`a"b\c` + "\n"); got != `a\"b\\c\n` {
+		t.Fatalf("promEscape = %q", got)
+	}
+}
+
+// TestPromExposition builds a registry spanning all three metric kinds and
+// checks the exposition: TYPE lines, labelled consumer families, cumulative
+// histogram buckets with +Inf, and determinism.
+func TestPromExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pipeline.events_decoded").Add(42)
+	r.Counter("pipeline.consumer.LA=8.events").Add(10)
+	r.Counter("pipeline.consumer.LA=16.events").Add(20)
+	r.Gauge("pipeline.ring.occupancy_peak").Set(3)
+	h := r.Histogram("pipeline.chunk_wait_ns")
+	h.Observe(0)
+	h.Observe(1)
+	h.Observe(5) // bucket le=7
+	h.Observe(6) // bucket le=7
+
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		"# TYPE tsm_pipeline_events_decoded counter\n",
+		"tsm_pipeline_events_decoded 42\n",
+		"# TYPE tsm_pipeline_consumer_events counter\n",
+		`tsm_pipeline_consumer_events{consumer="LA=16"} 20` + "\n",
+		`tsm_pipeline_consumer_events{consumer="LA=8"} 10` + "\n",
+		"# TYPE tsm_pipeline_ring_occupancy_peak gauge\n",
+		"tsm_pipeline_ring_occupancy_peak 3\n",
+		"# TYPE tsm_pipeline_chunk_wait_ns histogram\n",
+		`tsm_pipeline_chunk_wait_ns_bucket{le="0"} 1` + "\n",
+		`tsm_pipeline_chunk_wait_ns_bucket{le="1"} 2` + "\n",
+		`tsm_pipeline_chunk_wait_ns_bucket{le="7"} 4` + "\n",
+		`tsm_pipeline_chunk_wait_ns_bucket{le="+Inf"} 4` + "\n",
+		"tsm_pipeline_chunk_wait_ns_sum 12\n",
+		"tsm_pipeline_chunk_wait_ns_count 4\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Labelled series of one family sort by label under a single TYPE line.
+	i16 := strings.Index(out, `{consumer="LA=16"}`)
+	i8 := strings.Index(out, `{consumer="LA=8"}`)
+	if i16 < 0 || i8 < 0 || i16 > i8 {
+		t.Fatalf("consumer series out of sorted order:\n%s", out)
+	}
+	if strings.Count(out, "# TYPE tsm_pipeline_consumer_events") != 1 {
+		t.Fatalf("consumer family emitted more than one TYPE line:\n%s", out)
+	}
+
+	// Determinism: a second write is byte-identical.
+	var buf2 bytes.Buffer
+	if err := r.WriteProm(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("two expositions of equal state differ")
+	}
+}
+
+// TestPromNilRegistry: the nil registry writes an empty exposition.
+func TestPromNilRegistry(t *testing.T) {
+	var r *Registry
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("nil registry exposition non-empty: %q", buf.String())
+	}
+}

@@ -14,9 +14,7 @@ package obs
 
 import (
 	"encoding/json"
-	"fmt"
 	"io"
-	"os"
 	"sort"
 	"sync"
 	"time"
@@ -245,20 +243,9 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
 }
 
-// WriteFile writes the chrome trace to a new file at path, failing with a
-// clear error if the file cannot be created or written.
-func (t *Tracer) WriteFile(path string) (err error) {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("obs: writing trace: %w", err)
-	}
-	defer func() {
-		if cerr := f.Close(); err == nil && cerr != nil {
-			err = fmt.Errorf("obs: writing trace: %w", cerr)
-		}
-	}()
-	if err := t.WriteChrome(f); err != nil {
-		return fmt.Errorf("obs: writing trace %s: %w", path, err)
-	}
-	return nil
+// WriteFile writes the chrome trace to path, atomically (see
+// WriteFileAtomic): a killed run leaves the previous file or the complete
+// new one, never a truncated trace.
+func (t *Tracer) WriteFile(path string) error {
+	return WriteFileAtomic(path, t.WriteChrome)
 }

@@ -68,6 +68,15 @@ type consumerObs struct {
 	lagMax  *obs.Gauge
 }
 
+// consumerLabel returns consumer i's label — its ConsumerNames entry, or its
+// index — shared by the metric/trace names and the per-consumer Series.
+func (c Config) consumerLabel(i int) string {
+	if i < len(c.ConsumerNames) && c.ConsumerNames[i] != "" {
+		return c.ConsumerNames[i]
+	}
+	return fmt.Sprintf("%d", i)
+}
+
 // newObs resolves the handles for n consumers, or returns nil when the
 // configuration requests no instrumentation.
 func (c Config) newObs(n int) *engineObs {
@@ -91,10 +100,7 @@ func (c Config) newObs(n int) *engineObs {
 	}
 	c.Tracer.NameLane(0, "producer")
 	for i := range o.consumers {
-		label := fmt.Sprintf("%d", i)
-		if i < len(c.ConsumerNames) && c.ConsumerNames[i] != "" {
-			label = c.ConsumerNames[i]
-		}
+		label := c.consumerLabel(i)
 		o.consumers[i] = consumerObs{
 			label:   label,
 			events:  m.Counter("pipeline.consumer." + label + ".events"),

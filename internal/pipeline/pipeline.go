@@ -123,6 +123,11 @@ type Config struct {
 	// in metrics and trace lanes; consumers beyond the list — or empty
 	// entries — fall back to their index.
 	ConsumerNames []string
+	// Series, when non-nil, attaches domain time-series sampling: every
+	// consumer implementing Sampler receives a per-consumer obs.Series (named
+	// by its label) and is pumped at broadcast-chunk boundaries (see
+	// sample.go). Nil — the default — disables sampling entirely.
+	Series *obs.SeriesSet
 }
 
 func (c Config) normalize() Config {
@@ -184,6 +189,7 @@ type chanSource struct {
 	err error
 	o   *engineObs
 	id  int
+	sampleState
 }
 
 // Next implements stream.Source.
@@ -192,6 +198,9 @@ func (s *chanSource) Next() (trace.Event, error) {
 		return trace.Event{}, s.err
 	}
 	for s.pos >= len(s.cur) {
+		// The previous chunk is fully processed: offer the consumer a sample
+		// at its boundary before fetching more.
+		s.pump(false)
 		var it item
 		var ok bool
 		if s.o.enabled() {
@@ -209,13 +218,16 @@ func (s *chanSource) Next() (trace.Event, error) {
 		}
 		if !ok {
 			s.err = io.EOF
+			s.pump(true)
 			return trace.Event{}, io.EOF
 		}
 		if it.err != nil {
 			s.err = it.err
+			s.pump(true)
 			return trace.Event{}, it.err
 		}
 		s.cur, s.pos = it.events, 0
+		s.adopt(it.events)
 		// Cursor lag for the channel strategy is the chunks still buffered
 		// behind the producer after this receive.
 		s.o.consumerChunk(s.id, len(it.events), uint64(len(s.ch)))
@@ -240,13 +252,25 @@ func (c Config) Run(src stream.Source, consumers ...Consumer) error {
 	case 0:
 		return nil
 	case 1:
+		smps := c.samplers(consumers)
 		o := c.newObs(1)
-		if o == nil {
+		if o == nil && smps == nil {
 			return consumers[0].Run(src)
+		}
+		runSrc := src
+		if smp := samplerAt(smps, 0); smp != nil {
+			n := c.ChunkEvents
+			if n <= 0 {
+				n = DefaultChunkEvents
+			}
+			runSrc = &pumpSource{src: src, sampleState: sampleState{sampler: smp}, chunkEvents: n}
+		}
+		if o == nil {
+			return consumers[0].Run(runSrc)
 		}
 		start := time.Now()
 		sp := o.beginSpan(o.consumers[0].label, "consumer", 1)
-		counted := &singleSource{src: src, o: o}
+		counted := &singleSource{src: runSrc, o: o}
 		err := consumers[0].Run(counted)
 		counted.flush()
 		o.producerDone(time.Since(start))
@@ -255,19 +279,20 @@ func (c Config) Run(src stream.Source, consumers ...Consumer) error {
 		return err
 	}
 	c = c.normalize()
+	smps := c.samplers(consumers)
 	o := c.newObs(len(consumers))
 	if o.enabled() {
 		defer o.runDone(time.Now())
 	}
 	if c.Strategy == Ring {
-		return c.runRing(src, consumers, o)
+		return c.runRing(src, consumers, smps, o)
 	}
-	return c.runChannels(src, consumers, o)
+	return c.runChannels(src, consumers, smps, o)
 }
 
 // runChannels is Config.Run's channel strategy: per-consumer bounded
 // channels, one send per consumer per chunk.
-func (c Config) runChannels(src stream.Source, consumers []Consumer, o *engineObs) error {
+func (c Config) runChannels(src stream.Source, consumers []Consumer, smps []Sampler, o *engineObs) error {
 	chans := make([]chan item, len(consumers))
 	for i := range chans {
 		chans[i] = make(chan item, c.ChunkBuffer)
@@ -388,7 +413,10 @@ func (c Config) runChannels(src stream.Source, consumers []Consumer, o *engineOb
 		go func(i int, consumer Consumer) {
 			defer wg.Done()
 			sp := o.beginSpan(o.label(i), "consumer", i+1)
-			err := consumer.Run(&chanSource{ch: chans[i], o: o, id: i})
+			err := consumer.Run(&chanSource{
+				ch: chans[i], o: o, id: i,
+				sampleState: sampleState{sampler: samplerAt(smps, i)},
+			})
 			o.consumerSpanEnd(i, sp)
 			errs[i] = err
 			if err != nil && !errors.Is(err, ErrCanceled) {

@@ -219,6 +219,7 @@ type ringSource struct {
 	cur []trace.Event
 	pos int
 	err error
+	sampleState
 }
 
 // Next implements stream.Source.
@@ -227,6 +228,11 @@ func (s *ringSource) Next() (trace.Event, error) {
 		return trace.Event{}, s.err
 	}
 	for s.pos >= len(s.cur) {
+		// The previous chunk is fully processed: offer the consumer a sample
+		// at its boundary BEFORE take releases the slot (the boundary seq was
+		// captured at adoption — the slot buffer must not be re-read once the
+		// producer can recycle it).
+		s.pump(false)
 		events, err, ok := s.r.take(s.id)
 		if !ok {
 			if err == nil {
@@ -235,9 +241,11 @@ func (s *ringSource) Next() (trace.Event, error) {
 			s.err = err
 			// Drop the slot reference; the slot itself was released by take.
 			s.cur, s.pos = nil, 0
+			s.pump(true)
 			return trace.Event{}, err
 		}
 		s.cur, s.pos = events, 0
+		s.adopt(events)
 	}
 	e := s.cur[s.pos]
 	s.pos++
@@ -246,7 +254,7 @@ func (s *ringSource) Next() (trace.Event, error) {
 
 // runRing is Config.Run's ring strategy (two or more consumers; the 0/1
 // fast paths are shared with the channel strategy).
-func (c Config) runRing(src stream.Source, consumers []Consumer, o *engineObs) error {
+func (c Config) runRing(src stream.Source, consumers []Consumer, smps []Sampler, o *engineObs) error {
 	r := newRingState(c.ChunkBuffer, len(consumers), o)
 	var wg sync.WaitGroup
 
@@ -307,7 +315,10 @@ func (c Config) runRing(src stream.Source, consumers []Consumer, o *engineObs) e
 		go func(i int, consumer Consumer) {
 			defer wg.Done()
 			sp := o.beginSpan(o.label(i), "consumer", i+1)
-			err := consumer.Run(&ringSource{r: r, id: i})
+			err := consumer.Run(&ringSource{
+				r: r, id: i,
+				sampleState: sampleState{sampler: samplerAt(smps, i)},
+			})
 			o.consumerSpanEnd(i, sp)
 			errs[i] = err
 			if err != nil && !errors.Is(err, ErrCanceled) {

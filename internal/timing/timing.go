@@ -22,6 +22,7 @@ import (
 
 	"tsm/internal/config"
 	"tsm/internal/mem"
+	"tsm/internal/obs"
 	"tsm/internal/stream"
 	"tsm/internal/trace"
 	"tsm/internal/tse"
@@ -108,6 +109,12 @@ type Params struct {
 	// SegmentConsumptions sets how many consumptions form one measurement
 	// segment for confidence intervals (0 selects a default of 2000).
 	SegmentConsumptions int
+	// Observer, when non-nil, receives every consumption's resolved latency
+	// in cycles, immediately after it is determined and before it is issued
+	// into the MLP burst. It is a pure tap — the simulation's arithmetic and
+	// results are unaffected — used by the sampling Consumer to build
+	// per-epoch latency histograms. Nil (the default) disables it.
+	Observer func(latencyCycles uint64)
 }
 
 // Validate reports whether the parameters are usable.
@@ -320,6 +327,10 @@ func SimulateSource(src stream.Source, p Params) (Result, error) {
 				}
 			}
 
+			if p.Observer != nil {
+				p.Observer(latency)
+			}
+
 			// Issue into the current MLP burst.
 			n.burstLatencies = append(n.burstLatencies, latency)
 			n.burstBudget--
@@ -363,10 +374,20 @@ func SimulateSource(src stream.Source, p Params) (Result, error) {
 // internal/pipeline (whose Consumer interface it satisfies structurally):
 // Run drains its private tee of the stream through the timing model and
 // stores the result.
+//
+// Consumer also satisfies pipeline.Sampler: with a series attached, Run taps
+// every consumption latency through Params.Observer into a per-epoch
+// obs.Histogram, and each chunk-boundary pump records the epoch's latency
+// distribution (count, mean, interpolated p50/p90/p99) as one sample, then
+// starts a fresh epoch. The simulation's results are identical with and
+// without the tap.
 type Consumer struct {
 	params Params
 	// Result is the simulation result, valid after Run returns nil.
 	Result Result
+	series *obs.Series
+	epoch  *obs.Histogram // latencies observed since the last sample
+	cum    uint64         // consumptions observed so far
 }
 
 // NewConsumer wraps one timing simulation at the given parameters.
@@ -374,9 +395,40 @@ func NewConsumer(p Params) *Consumer { return &Consumer{params: p} }
 
 // Run implements the pipeline consumer contract.
 func (c *Consumer) Run(src stream.Source) error {
-	res, err := SimulateSource(src, c.params)
+	p := c.params
+	if c.series != nil {
+		c.cum = 0
+		c.epoch = &obs.Histogram{}
+		p.Observer = func(latency uint64) {
+			c.cum++
+			c.epoch.Observe(latency)
+		}
+	}
+	res, err := SimulateSource(src, p)
 	c.Result = res
 	return err
+}
+
+// AttachSeries implements pipeline.Sampler.
+func (c *Consumer) AttachSeries(s *obs.Series) { c.series = s }
+
+// SampleAt implements pipeline.Sampler: one epoch sample of the latency
+// distribution since the previous sample. Runs on the consumer's goroutine
+// between events.
+func (c *Consumer) SampleAt(seq uint64, final bool) {
+	if c.epoch == nil || !c.series.Ready(seq, final) {
+		return
+	}
+	snap := c.epoch.Snapshot()
+	c.series.Record(seq, map[string]float64{
+		"consumptions":  float64(c.cum),
+		"latency_count": float64(snap.Count),
+		"latency_mean":  snap.Mean(),
+		"latency_p50":   snap.P50,
+		"latency_p90":   snap.P90,
+		"latency_p99":   snap.P99,
+	})
+	c.epoch = &obs.Histogram{}
 }
 
 // Speedup returns base execution time divided by the comparison execution

@@ -219,6 +219,59 @@ func (s *System) Finish() Result {
 	return res
 }
 
+// LiveStats is a mid-run snapshot of the whole-machine TSE state, cheap
+// enough to take at every sampling epoch: pure aggregation over per-node
+// counters, no flushing, no mutation. Unlike Finish it leaves the System
+// fully usable, and unlike Result it reports the RESIDENT state too (blocks
+// currently sitting in SVBs, CMOB storage in use) — the curves of the
+// paper's occupancy figures rather than end-of-run totals.
+type LiveStats struct {
+	// Consumptions and Covered are the cumulative totals so far; at end of
+	// stream they equal the final Result's (Finish only adds unused resident
+	// blocks to Discards), so a final-epoch Coverage matches the report
+	// exactly.
+	Consumptions uint64
+	Covered      uint64
+	// BlocksFetched is blocks streamed into SVBs so far.
+	BlocksFetched uint64
+	// Discards is streamed blocks already discarded (resident blocks that
+	// would become end-of-run discards are not counted until they actually
+	// are).
+	Discards uint64
+	// StreamsAllocated is cumulative stream-queue allocations.
+	StreamsAllocated uint64
+	// SVBResident is the blocks currently held across all SVBs.
+	SVBResident int
+	// CMOBBytes is the current CMOB storage in use across all nodes.
+	CMOBBytes int
+}
+
+// Coverage returns the fraction of consumptions eliminated so far.
+func (ls LiveStats) Coverage() float64 {
+	if ls.Consumptions == 0 {
+		return 0
+	}
+	return float64(ls.Covered) / float64(ls.Consumptions)
+}
+
+// Probe aggregates the current per-node state without flushing anything. It
+// must run between events (same goroutine as Consumption/Write), which is
+// exactly when the pipeline's sampling pump fires.
+func (s *System) Probe() LiveStats {
+	var ls LiveStats
+	for i, eng := range s.engines {
+		es := eng.Stats()
+		ls.Consumptions += es.Consumptions
+		ls.Covered += es.Covered
+		ls.BlocksFetched += es.BlocksFetched
+		ls.StreamsAllocated += es.StreamsAllocated
+		ls.Discards += eng.SVB().Stats().Discards
+		ls.SVBResident += eng.SVB().Len()
+		ls.CMOBBytes += s.cmobs[i].StorageBytes()
+	}
+	return ls
+}
+
 // EventSource is the pull-based event iterator RunSource consumes: Next
 // returns io.EOF when the stream ends. It is structurally identical to
 // stream.Source, declared locally so that the tse package (which prefetch

@@ -306,3 +306,51 @@ func TestRunSourceReportsSourceError(t *testing.T) {
 
 // errTestSource is the sentinel error used by errorSource.
 var errTestSource = errors.New("tse test: source failed")
+
+// TestSystemProbe pins the live-snapshot contract: Probe never mutates the
+// system, its cumulative counters agree with an independent full run, and a
+// probe taken after the last event matches the final Result exactly on
+// Consumptions/Covered (Finish only moves resident blocks into Discards).
+func TestSystemProbe(t *testing.T) {
+	tr := migratoryTrace(4, 200)
+
+	// Reference run without probes.
+	want := NewSystem(smallSystemConfig()).Run(tr)
+
+	s := NewSystem(smallSystemConfig())
+	var mid LiveStats
+	for i, e := range tr.Events {
+		switch e.Kind {
+		case trace.KindConsumption:
+			s.Consumption(e)
+		case trace.KindWrite:
+			s.Write(e)
+		}
+		// Probe at every event: the run's outcome must be unaffected.
+		ls := s.Probe()
+		if i == len(tr.Events)/2 {
+			mid = ls
+		}
+	}
+	final := s.Probe()
+	if mid.Consumptions == 0 || mid.Consumptions >= final.Consumptions {
+		t.Fatalf("mid-run probe not strictly inside the run: mid=%+v final=%+v", mid, final)
+	}
+	if final.Consumptions != want.Consumptions || final.Covered != want.Covered {
+		t.Fatalf("probed run diverged: probe=%+v want=%+v", final, want)
+	}
+	if final.BlocksFetched != want.BlocksFetched {
+		t.Fatalf("BlocksFetched: probe=%d want=%d", final.BlocksFetched, want.BlocksFetched)
+	}
+	if got := final.Coverage(); got != want.Coverage() {
+		t.Fatalf("final-probe coverage %v != report coverage %v", got, want.Coverage())
+	}
+	if final.Discards > want.Discards {
+		t.Fatalf("live discards %d exceed final discards %d", final.Discards, want.Discards)
+	}
+
+	res := s.Finish()
+	if res.Consumptions != want.Consumptions || res.Covered != want.Covered || res.Discards != want.Discards {
+		t.Fatalf("Finish after probes diverged: %+v vs %+v", res, want)
+	}
+}

@@ -30,11 +30,27 @@ type MetricsSnapshot = obs.Snapshot
 // concurrent use.
 type Tracer = obs.Tracer
 
+// SeriesSet collects one windowed time-series per pipeline consumer: epoch
+// samples of live cumulative state (coverage, occupancy, per-epoch latency
+// quantiles), keyed by event sequence number. Attach one via Instrumentation
+// and the replay engine pumps samples at chunk boundaries; export with
+// WriteJSON/WriteFile. Safe for concurrent use.
+type SeriesSet = obs.SeriesSet
+
+// SeriesPoint is one epoch sample of a series.
+type SeriesPoint = obs.SeriesPoint
+
 // NewMetrics returns an empty metrics registry.
 func NewMetrics() *Metrics { return obs.NewRegistry() }
 
 // NewTracer returns an empty stage tracer.
 func NewTracer() *Tracer { return obs.NewTracer() }
+
+// NewSeriesSet returns an empty time-series set. The facade auto-sizes the
+// sampling interval from the trace's event count when the file is indexed
+// (targeting obs.DefaultSeriesPoints samples); SetInterval beforehand to
+// override.
+func NewSeriesSet() *SeriesSet { return obs.NewSeriesSet() }
 
 // Instrumentation bundles the optional observability attachments of one
 // replay or sweep call. The zero value disables everything; each field is
@@ -51,6 +67,14 @@ type Instrumentation struct {
 	Progress io.Writer
 	// ProgressInterval overrides the reporting period (default 2s).
 	ProgressInterval time.Duration
+	// Series, when non-nil, collects per-consumer time-series of live
+	// cumulative state, sampled at chunk boundaries during the run.
+	Series *SeriesSet
+	// Manifest, when non-nil, records the run's provenance: trace identity
+	// (content hash, codec version, workload metadata), replay settings,
+	// per-stage wall times, and the final metrics snapshot when Metrics is
+	// also set.
+	Manifest *RunManifest
 }
 
 // pipelineConfig builds the engine configuration carrying the attachments.
@@ -62,7 +86,7 @@ func (ins Instrumentation) pipelineConfig(names []string) (pipeline.Config, *Met
 	if m == nil && ins.Progress != nil {
 		m = NewMetrics()
 	}
-	return pipeline.Config{Metrics: m, Tracer: ins.Tracer, ConsumerNames: names}, m
+	return pipeline.Config{Metrics: m, Tracer: ins.Tracer, Series: ins.Series, ConsumerNames: names}, m
 }
 
 // startProgress launches the progress meter when requested (nil otherwise —

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"path/filepath"
 
+	"tsm/internal/obs"
 	"tsm/internal/stream"
 )
 
@@ -86,40 +87,91 @@ func openReplaySource(path string, rc ReplayConfig, ins Instrumentation) (replay
 	return nil, err
 }
 
+// beginFileRun primes the provenance-side attachments before a file replay:
+// the manifest records the trace's header-level identity and the replay
+// settings, and — when the file is indexed, so the total event count is known
+// up front — an attached SeriesSet with no explicit interval is auto-sized to
+// land about obs.DefaultSeriesPoints samples across the run. Describe reads
+// only the header and index footer, so this is cheap; describe errors are
+// swallowed here because the open that follows reports them properly.
+func (ins Instrumentation) beginFileRun(op, path, sweep string, rc ReplayConfig) {
+	if ins.Series == nil && ins.Manifest == nil {
+		return
+	}
+	info, err := stream.Describe(path)
+	ins.Manifest.begin(op, path, rc, sweep, info, err)
+	if ins.Series != nil && err == nil && info.Indexed && info.Events > 0 {
+		n := info.Events
+		if rc.ranged() {
+			lo, hi := rc.From, rc.To
+			if hi == 0 || hi > n {
+				hi = n
+			}
+			if lo < hi {
+				n = hi - lo
+			}
+		}
+		interval := n / obs.DefaultSeriesPoints
+		if interval == 0 {
+			interval = 1
+		}
+		ins.Series.EnsureInterval(interval)
+	}
+}
+
+// finishFileRun completes the manifest after the run: the trace content hash
+// (its own timed stage) and the final metrics snapshot from the registry the
+// engine actually wrote to.
+func (ins Instrumentation) finishFileRun(m *Metrics) {
+	ins.Manifest.finalize(m)
+}
+
 // EvaluateTSEFileWith is EvaluateTSEFile under an explicit replay
 // configuration and instrumentation: the same fused single-pass evaluation,
 // with the decode side configured by rc — parallel per-chunk workers over
 // the version 3 index, or a bounded event range. The Report for a full-range
 // replay is bit-identical at any worker count.
 func EvaluateTSEFileWith(path string, rc ReplayConfig, ins Instrumentation) (Report, error) {
+	ins.beginFileRun("replay-tse", path, "", rc)
+	openDone := ins.Manifest.stage("open")
 	f, err := openReplaySource(path, rc, ins)
+	openDone()
 	if err != nil {
 		return Report{}, err
 	}
 	pcfg, m := ins.pipelineConfig(tseConsumerNames())
 	p := ins.startProgress("replay "+filepath.Base(path), m, f.Fraction)
+	runDone := ins.Manifest.stage("replay")
 	rep, err := evaluateTSESourceWith(pcfg, f, f.Meta())
+	runDone()
 	p.Stop()
 	if err = stream.CloseMerge(f, err); err != nil {
 		return Report{}, fmt.Errorf("tsm: replaying %s: %w", path, err)
 	}
+	ins.finishFileRun(m)
 	return rep, nil
 }
 
 // EvaluateAllFileWith is EvaluateAllFile under an explicit replay
 // configuration and instrumentation (see EvaluateTSEFileWith).
 func EvaluateAllFileWith(path string, rc ReplayConfig, ins Instrumentation) ([]Report, error) {
+	ins.beginFileRun("replay-all", path, "", rc)
+	openDone := ins.Manifest.stage("open")
 	f, err := openReplaySource(path, rc, ins)
+	openDone()
 	if err != nil {
 		return nil, err
 	}
 	pcfg, m := ins.pipelineConfig(nil) // names resolved from the model specs
 	p := ins.startProgress("replay "+filepath.Base(path), m, f.Fraction)
+	runDone := ins.Manifest.stage("replay")
 	reports, err := evaluateAllSourceWith(pcfg, f, f.Meta())
+	runDone()
 	p.Stop()
 	if err = stream.CloseMerge(f, err); err != nil {
 		return nil, fmt.Errorf("tsm: replaying %s: %w", path, err)
 	}
+	ins.finishFileRun(m)
 	return reports, nil
 }
 
@@ -128,16 +180,22 @@ func EvaluateAllFileWith(path string, rc ReplayConfig, ins Instrumentation) ([]R
 // over the file, but that pass may itself be decoded by parallel per-chunk
 // workers, or bounded to an event range.
 func EvaluateTSESweepFileWith(path, sweep string, rc ReplayConfig, ins Instrumentation) ([]SweepCell, error) {
+	ins.beginFileRun("sweep", path, sweep, rc)
+	openDone := ins.Manifest.stage("open")
 	f, err := openReplaySource(path, rc, ins)
+	openDone()
 	if err != nil {
 		return nil, err
 	}
 	pcfg, m := ins.pipelineConfig(nil) // names resolved from the cell labels
 	p := ins.startProgress("sweep "+filepath.Base(path), m, f.Fraction)
+	runDone := ins.Manifest.stage("sweep")
 	cells, err := evaluateTSESweepSourceWith(pcfg, f, f.Meta(), sweep)
+	runDone()
 	p.Stop()
 	if err = stream.CloseMerge(f, err); err != nil {
 		return nil, fmt.Errorf("tsm: sweeping %s: %w", path, err)
 	}
+	ins.finishFileRun(m)
 	return cells, nil
 }
