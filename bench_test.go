@@ -716,17 +716,41 @@ func BenchmarkFileReplay(b *testing.B) {
 	// The fused path with the decode side itself parallelised over the v3
 	// chunk index: still one decode pass, split across per-chunk workers.
 	// Identical reports at any worker count; the delta is decode wall time.
+	// decode_mevents_per_cpu_s is the decode side's own throughput (events
+	// over worker busy time, from the stream.decode.* counters) — the number
+	// the SoA batch decoder is gated on, isolated from consumer cost.
 	for _, workers := range []int{1, 4} {
 		workers := workers
 		b.Run(fmt.Sprintf("fused-decode%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				rep, err := EvaluateTSEFileWith(path, ReplayConfig{DecodeWorkers: workers}, Instrumentation{})
+				m := NewMetrics()
+				rep, err := EvaluateTSEFileWith(path, ReplayConfig{DecodeWorkers: workers}, Instrumentation{Metrics: m})
 				if err != nil {
 					b.Fatal(err)
 				}
 				b.ReportMetric(100*rep.Coverage, "coverage_pct")
 				b.ReportMetric(1, "decode_passes")
 				b.ReportMetric(float64(workers), "decode_workers")
+				reportDecodeThroughput(b, m)
+			}
+		})
+	}
+	// The fused path over an mmap'd file: the decode workers parse chunks
+	// zero-copy from the mapped pages into SoA regions, and every consumer
+	// sweeps the columns. Identical reports; this is the all-in hot path.
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("soa-mmap%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m := NewMetrics()
+				rep, err := EvaluateTSEFileWith(path, ReplayConfig{DecodeWorkers: workers, Mmap: true}, Instrumentation{Metrics: m})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(100*rep.Coverage, "coverage_pct")
+				b.ReportMetric(1, "decode_passes")
+				b.ReportMetric(float64(workers), "decode_workers")
+				reportDecodeThroughput(b, m)
 			}
 		})
 	}
@@ -838,5 +862,77 @@ func BenchmarkParallelDecode(b *testing.B) {
 				b.ReportMetric(float64(workers), "decode_workers")
 			}
 		})
+	}
+	// The same indexed decode drained as struct-of-arrays columns
+	// (NextChunkSoA) instead of one Next call per event — how the pipeline
+	// and the columnar consumers actually consume the decoder.
+	drainSoA := func(b *testing.B, src stream.SoASource) uint64 {
+		var n uint64
+		for {
+			ch, err := src.NextChunkSoA()
+			if err == io.EOF {
+				return n
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			n += uint64(ch.Len())
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("soa%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				f, err := stream.OpenFileParallel(path, stream.ParallelOptions{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				n := drainSoA(b, f)
+				if err := f.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(n), "events")
+				b.ReportMetric(float64(workers), "decode_workers")
+			}
+		})
+	}
+	// The indexed decode over an mmap'd file: zero-copy chunk regions, no
+	// per-chunk read syscall. Falls back to ReadAt where mmap is unsupported.
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		b.Run(fmt.Sprintf("mmap%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				f, err := stream.OpenFileParallel(path, stream.ParallelOptions{Workers: workers, Mmap: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				n := drainSoA(b, f)
+				if err := f.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(n), "events")
+				b.ReportMetric(float64(workers), "decode_workers")
+			}
+		})
+	}
+}
+
+// reportDecodeThroughput derives the decode side's own throughput from the
+// stream.decode.* counters a replay collected: million events decoded per
+// second of decode-worker busy time.
+func reportDecodeThroughput(b *testing.B, m *Metrics) {
+	b.Helper()
+	s := m.Snapshot()
+	events := s.Counters["stream.decode.events"]
+	var busyNs uint64
+	for name, v := range s.Counters {
+		if strings.HasPrefix(name, "stream.decode.worker.") && strings.HasSuffix(name, ".busy_ns") {
+			busyNs += v
+		}
+	}
+	if busyNs > 0 {
+		b.ReportMetric(float64(events)*1e3/float64(busyNs), "decode_mevents_per_cpu_s")
 	}
 }

@@ -12,6 +12,7 @@
 //	tsesim -i db2.tsm -compare               # ...all Figure 12 models
 //	tsesim -i db2.tsm -sweep lookahead       # whole sensitivity sweep, one decode
 //	tsesim -i db2.tsm -decode-workers 4      # parallel per-chunk decode (v3 files)
+//	tsesim -i db2.tsm -mmap                  # decode straight from mapped pages
 //	tsesim -i db2.tsm -from 500000 -to 900000  # replay an event sub-range via the index
 //	tsesim -i db2.tsm -metrics m.json -trace t.json -progress
 //	tsesim -list                             # list experiments and workloads
@@ -30,10 +31,13 @@
 // fan-out, so a whole sweep costs one codec pass instead of one per cell.
 // Version 3 trace files carry a chunk index: -decode-workers N decodes the
 // file with N parallel per-chunk workers (identical reports, faster wall
-// clock; -1 picks one worker per core), and -from/-to replay only the events
-// with sequence numbers in [from, to) without streaming the prefix. Both fall
-// back gracefully on pre-index files: a parallel request decodes serially,
-// a ranged request fails (the range would otherwise be silently ignored).
+// clock; -1 picks one worker per core), -mmap maps the file and lets the
+// decode workers parse chunks directly from the mapped pages (no per-chunk
+// read syscall or copy; quietly degrades to read() on platforms without mmap),
+// and -from/-to replay only the events with sequence numbers in [from, to)
+// without streaming the prefix. All fall back gracefully on pre-index files:
+// a parallel or mmap request decodes serially, a ranged request fails (the
+// range would otherwise be silently ignored).
 // Batches of experiments run in parallel over a shared workspace (each
 // workload's trace is generated exactly once); -serial restores the
 // one-at-a-time path.
@@ -103,6 +107,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		decodeWorkers = fs.Int("decode-workers", 0, "with -i: parallel per-chunk decode workers over the v3 chunk index (0 = serial, -1 = one per core)")
 		fromEvent     = fs.Uint64("from", 0, "with -i: replay from this event sequence number (inclusive; needs a v3 indexed file)")
 		toEvent       = fs.Uint64("to", 0, "with -i: replay up to this event sequence number (exclusive; 0 = end of trace)")
+		mmapFile      = fs.Bool("mmap", false, "with -i: mmap the trace file and decode chunks from the mapped pages (implies the indexed path; falls back to read() where unsupported)")
 		serial        = fs.Bool("serial", false, "run experiments one at a time instead of in parallel")
 		list          = fs.Bool("list", false, "list available experiments and workloads, then exit")
 		quiet         = fs.Bool("quiet", false, "suppress progress messages")
@@ -210,9 +215,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	rc := tsm.ReplayConfig{DecodeWorkers: *decodeWorkers, From: *fromEvent, To: *toEvent}
-	if (rc.DecodeWorkers != 0 || rc.From != 0 || rc.To != 0) && *input == "" {
-		fmt.Fprintln(stderr, "tsesim: -decode-workers, -from and -to configure trace-file replay and need -i")
+	rc := tsm.ReplayConfig{DecodeWorkers: *decodeWorkers, From: *fromEvent, To: *toEvent, Mmap: *mmapFile}
+	rcSet := rc.DecodeWorkers != 0 || rc.From != 0 || rc.To != 0 || rc.Mmap
+	if rcSet && *input == "" {
+		fmt.Fprintln(stderr, "tsesim: -decode-workers, -from, -to and -mmap configure trace-file replay and need -i")
 		return 2
 	}
 
@@ -221,8 +227,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "tsesim: -inmem and -multipass are mutually exclusive (both are alternatives to the fused streamed path)")
 			return 2
 		}
-		if (rc.DecodeWorkers != 0 || rc.From != 0 || rc.To != 0) && (*inmem || *multipass) {
-			fmt.Fprintln(stderr, "tsesim: -decode-workers, -from and -to ride the fused streamed path and cannot combine with -inmem or -multipass")
+		if rcSet && (*inmem || *multipass) {
+			fmt.Fprintln(stderr, "tsesim: -decode-workers, -from, -to and -mmap ride the fused streamed path and cannot combine with -inmem or -multipass")
 			return 2
 		}
 		if rc.To != 0 && rc.To <= rc.From {
@@ -420,11 +426,14 @@ func replayTrace(stdout io.Writer, path string, compare, inmem, multipass, quiet
 }
 
 // replayModeSuffix renders the replay-config part of the mode banner:
-// decode-worker count and event range, when set.
+// decode-worker count, mmap, and event range, when set.
 func replayModeSuffix(rc tsm.ReplayConfig) string {
 	var sb strings.Builder
 	if rc.DecodeWorkers != 0 {
 		fmt.Fprintf(&sb, ", decode-workers=%d", rc.DecodeWorkers)
+	}
+	if rc.Mmap {
+		sb.WriteString(", mmap")
 	}
 	if rc.From != 0 || rc.To != 0 {
 		if rc.To != 0 {

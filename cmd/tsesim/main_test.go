@@ -327,8 +327,10 @@ func TestRunDecodeWorkerFlags(t *testing.T) {
 	cases := [][]string{
 		{"-decode-workers", "4"}, // no -i
 		{"-from", "10"},          // no -i
+		{"-mmap"},                // no -i
 		{"-i", "x.tsm", "-decode-workers", "4", "-inmem"},
 		{"-i", "x.tsm", "-from", "10", "-multipass"},
+		{"-i", "x.tsm", "-mmap", "-inmem"},
 		{"-i", "x.tsm", "-from", "10", "-to", "5"},
 		{"-i", "x.tsm", "-from", "10", "-to", "10"},
 	}
@@ -361,6 +363,13 @@ func TestRunParallelDecodeMatchesSerial(t *testing.T) {
 	}
 	if !strings.Contains(serialOut.String(), "TSE") {
 		t.Fatalf("replay printed no report:\n%s", &serialOut)
+	}
+	var mmapOut bytes.Buffer
+	if code := run([]string{"-i", path, "-quiet", "-mmap", "-decode-workers", "4"}, &mmapOut, &stderr); code != 0 {
+		t.Fatalf("mmap replay exited %d\nstderr:\n%s", code, &stderr)
+	}
+	if serialOut.String() != mmapOut.String() {
+		t.Fatalf("mmap decode changed the report\nserial:\n%s\nmmap:\n%s", &serialOut, &mmapOut)
 	}
 }
 

@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"io"
+
 	"tsm/internal/obs"
 	"tsm/internal/prefetch"
 	"tsm/internal/stream"
@@ -81,11 +83,20 @@ func NewTSEConsumer(cfg tse.Config) *TSEConsumer {
 
 // Run implements the pipeline consumer contract. The system is built here
 // and exposed to SampleAt for the duration of the run; the final numbers are
-// bit-identical to EvaluateTSEStream (both are NewSystem + RunSource).
+// bit-identical to EvaluateTSEStream (both are NewSystem + RunSource). A
+// source holding struct-of-arrays chunks (the pipeline's fan-out sources,
+// the parallel decoder) is driven through the columnar inner loop instead —
+// same numbers, no per-event interface call.
 func (c *TSEConsumer) Run(src stream.Source) error {
 	sys := tse.NewSystem(c.cfg)
 	c.sys = sys
-	full, err := sys.RunSource(src)
+	var full tse.Result
+	var err error
+	if ss, ok := src.(stream.SoASource); ok {
+		full, err = runTSEColumns(sys, ss)
+	} else {
+		full, err = sys.RunSource(src)
+	}
 	c.sys = nil
 	c.Result = CoverageResult{
 		Name:         sys.Name(),
@@ -96,6 +107,22 @@ func (c *TSEConsumer) Run(src stream.Source) error {
 	}
 	c.Full = full
 	return err
+}
+
+// runTSEColumns drives the system over dense column chunks, mirroring
+// RunSource's terminal semantics exactly: Finish runs on both the clean and
+// the error ending, and the partial result accompanies a terminal error.
+func runTSEColumns(sys *tse.System, ss stream.SoASource) (tse.Result, error) {
+	for {
+		ch, err := ss.NextChunkSoA()
+		if err == io.EOF {
+			return sys.Finish(), nil
+		}
+		if err != nil {
+			return sys.Finish(), err
+		}
+		sys.RunColumns(ch.Kind, ch.Node, ch.Block)
+	}
 }
 
 // AttachSeries implements pipeline.Sampler.

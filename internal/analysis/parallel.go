@@ -26,6 +26,9 @@ func EvaluateModelStream(m prefetch.Model, src stream.Source) (CoverageResult, e
 // Fetched/Discards are only known at Finish and set on a clean end of
 // stream.
 func evaluateModelInto(m prefetch.Model, src stream.Source, res *CoverageResult) error {
+	if ss, ok := src.(stream.SoASource); ok {
+		return evaluateModelColumns(m, ss, res)
+	}
 	for {
 		e, err := src.Next()
 		if err == io.EOF {
@@ -42,6 +45,36 @@ func evaluateModelInto(m prefetch.Model, src stream.Source, res *CoverageResult)
 			}
 		case trace.KindWrite:
 			m.Write(e)
+		}
+	}
+	res.Fetched, res.Discards = m.Finish()
+	return nil
+}
+
+// evaluateModelColumns is evaluateModelInto over struct-of-arrays chunks:
+// the classify switch sweeps the dense kind column — no interface call, no
+// 40-byte struct copy per event — and only the consumption/write rows the
+// model actually observes are reassembled into events. Results are
+// bit-identical to the per-event path.
+func evaluateModelColumns(m prefetch.Model, ss stream.SoASource, res *CoverageResult) error {
+	for {
+		c, err := ss.NextChunkSoA()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		for i, k := range c.Kind {
+			switch k {
+			case trace.KindConsumption:
+				res.Consumptions++
+				if m.Consumption(c.Event(i)) {
+					res.Covered++
+				}
+			case trace.KindWrite:
+				m.Write(c.Event(i))
+			}
 		}
 	}
 	res.Fetched, res.Discards = m.Finish()

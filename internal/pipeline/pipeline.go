@@ -148,32 +148,129 @@ func Run(src stream.Source, consumers ...Consumer) error {
 
 // item is one broadcast unit: a chunk of events, or a terminal decode error.
 type item struct {
-	events []trace.Event
-	err    error
+	chunk *bcastChunk
+	err   error
 }
 
-// fillChunk fills one broadcast chunk from src. When src is a
-// stream.ChunkSource (the codec Reader and the parallel decoder both are),
-// the producer adopts a whole pre-decoded chunk in one bulk copy instead of
-// one interface call per event; otherwise it pulls up to chunkEvents
-// events. A non-nil terminal accompanies whatever partial chunk was filled
-// before it (possibly none).
-func fillChunk(src stream.Source, cs stream.ChunkSource, chunk []trace.Event, chunkEvents int) ([]trace.Event, error) {
-	if cs != nil {
-		events, err := cs.NextChunk()
-		if err != nil {
-			return chunk, err
-		}
-		return append(chunk, events...), nil
+// bcastChunk is one broadcast unit's buffer, holding the same rows in up to
+// two forms: struct-of-arrays columns and an []trace.Event view. The
+// producer fills whichever form its source yields natively — columns from a
+// SoASource (the parallel decoder: five memmoves, no per-event work), events
+// from everything else (one struct copy per event, exactly what an []Event
+// broadcast used to cost) — and the OTHER form materializes lazily, once per
+// chunk, when the first consumer that needs it asks. Column-aware consumers
+// (SoASource pulls) sweep dense columns; per-event consumers (Next pulls)
+// index a plain event slice; neither pays a per-event transpose, and a
+// needed transpose runs once per chunk, amortized across every consumer.
+// Row count and boundary seq are captured at fill time so the sampling pump
+// and metrics never race the lazy conversion.
+type bcastChunk struct {
+	n    int    // rows, set at fill time
+	last uint64 // seq of the final row (valid when n > 0), set at fill time
+
+	mu     sync.Mutex
+	soa    stream.ChunkSoA // column form; empty unless matSoA
+	matSoA bool
+	events []trace.Event // event form; empty unless matAoS
+	matAoS bool
+}
+
+// reset empties the chunk for refill, keeping both buffers' capacity. The
+// caller guarantees no consumer still reads the chunk (ring slot recycling
+// provides that ordering).
+func (b *bcastChunk) reset() {
+	b.n = 0
+	b.soa.Reset()
+	b.matSoA = false
+	b.events = b.events[:0]
+	b.matAoS = false
+}
+
+// aos returns the chunk's rows as []trace.Event, transposing them out of the
+// columns on the chunk's first per-event read.
+func (b *bcastChunk) aos() []trace.Event {
+	b.mu.Lock()
+	if !b.matAoS {
+		b.events = b.soa.AppendTo(b.events[:0])
+		b.matAoS = true
 	}
-	for len(chunk) < chunkEvents {
-		e, err := src.Next()
-		if err != nil {
-			return chunk, err
-		}
-		chunk = append(chunk, e)
+	ev := b.events
+	b.mu.Unlock()
+	return ev
+}
+
+// cols returns the chunk's rows as columns, transposing them out of the
+// event slice on the chunk's first column read. The returned region is
+// shared read-only by every consumer on the chunk.
+func (b *bcastChunk) cols() *stream.ChunkSoA {
+	b.mu.Lock()
+	if !b.matSoA {
+		b.soa.AppendEvents(b.events)
+		b.matSoA = true
 	}
-	return chunk, nil
+	b.mu.Unlock()
+	return &b.soa
+}
+
+// chunkFiller pre-resolves src's bulk interfaces once per run, so the
+// per-chunk fill pays type assertions zero times instead of once per chunk.
+type chunkFiller struct {
+	src stream.Source
+	cs  stream.ChunkSource
+	ss  stream.SoASource
+}
+
+func newChunkFiller(src stream.Source) chunkFiller {
+	f := chunkFiller{src: src}
+	f.cs, _ = src.(stream.ChunkSource)
+	f.ss, _ = src.(stream.SoASource)
+	return f
+}
+
+// fill fills one broadcast chunk from the source, in the form the source
+// yields natively. A stream.SoASource (the parallel decoder) hands over a
+// whole pre-decoded region in one bulk column copy — five memmoves, no
+// per-event work; a stream.ChunkSource (the codec Reader) and the generic
+// Next pull fill the event form, one struct copy per event. A non-nil
+// terminal accompanies whatever partial chunk was filled before it
+// (possibly none).
+func (f chunkFiller) fill(dst *bcastChunk, chunkEvents int) (terminal error) {
+	if f.ss != nil {
+		soa, err := f.ss.NextChunkSoA()
+		if err != nil {
+			return err
+		}
+		dst.soa.AppendSoA(soa)
+		dst.matSoA = true
+		if dst.n = dst.soa.Len(); dst.n > 0 {
+			dst.last = dst.soa.Seq[dst.n-1]
+		}
+		return nil
+	}
+	if cap(dst.events) < chunkEvents {
+		dst.events = make([]trace.Event, 0, chunkEvents)
+	}
+	if f.cs != nil {
+		events, err := f.cs.NextChunk()
+		if err == nil {
+			dst.events = append(dst.events, events...)
+		}
+		terminal = err
+	} else {
+		for len(dst.events) < chunkEvents {
+			e, err := f.src.Next()
+			if err != nil {
+				terminal = err
+				break
+			}
+			dst.events = append(dst.events, e)
+		}
+	}
+	dst.matAoS = true
+	if dst.n = len(dst.events); dst.n > 0 {
+		dst.last = dst.events[dst.n-1].Seq
+	}
+	return terminal
 }
 
 // chanSource adapts a consumer's chunk channel to the stream.Source pulled
@@ -183,13 +280,55 @@ func fillChunk(src stream.Source, cs stream.ChunkSource, chunk []trace.Event, ch
 // carrying an error — the producer's terminal decode error, or ErrCanceled
 // after another consumer failed — is this source's own terminal error.
 type chanSource struct {
-	ch  <-chan item
-	cur []trace.Event
-	pos int
-	err error
-	o   *engineObs
-	id  int
+	ch   <-chan item
+	cur  *bcastChunk
+	aos  []trace.Event // cur's AoS view, fetched on first per-event read
+	view stream.ChunkSoA
+	pos  int
+	err  error
+	o    *engineObs
+	id   int
 	sampleState
+}
+
+// refill blocks until the source holds an unconsumed chunk, handling the
+// sample pump, stall timing and in-band terminals. It returns the terminal
+// error once the stream ends (also recorded in s.err).
+func (s *chanSource) refill() error {
+	// The previous chunk is fully processed: offer the consumer a sample
+	// at its boundary before fetching more.
+	s.pump(false)
+	var it item
+	var ok bool
+	if s.o.enabled() {
+		// Receive without blocking when a chunk is already buffered;
+		// otherwise time the wait — that is this consumer's stall.
+		select {
+		case it, ok = <-s.ch:
+		default:
+			t0 := time.Now()
+			it, ok = <-s.ch
+			s.o.consumerStall(s.id, time.Since(t0))
+		}
+	} else {
+		it, ok = <-s.ch
+	}
+	if !ok {
+		s.err = io.EOF
+		s.pump(true)
+		return io.EOF
+	}
+	if it.err != nil {
+		s.err = it.err
+		s.pump(true)
+		return it.err
+	}
+	s.cur, s.aos, s.pos = it.chunk, nil, 0
+	s.adopt(it.chunk)
+	// Cursor lag for the channel strategy is the chunks still buffered
+	// behind the producer after this receive.
+	s.o.consumerChunk(s.id, it.chunk.n, uint64(len(s.ch)))
+	return nil
 }
 
 // Next implements stream.Source.
@@ -197,44 +336,33 @@ func (s *chanSource) Next() (trace.Event, error) {
 	if s.err != nil {
 		return trace.Event{}, s.err
 	}
-	for s.pos >= len(s.cur) {
-		// The previous chunk is fully processed: offer the consumer a sample
-		// at its boundary before fetching more.
-		s.pump(false)
-		var it item
-		var ok bool
-		if s.o.enabled() {
-			// Receive without blocking when a chunk is already buffered;
-			// otherwise time the wait — that is this consumer's stall.
-			select {
-			case it, ok = <-s.ch:
-			default:
-				t0 := time.Now()
-				it, ok = <-s.ch
-				s.o.consumerStall(s.id, time.Since(t0))
-			}
-		} else {
-			it, ok = <-s.ch
+	for s.cur == nil || s.pos >= s.cur.n {
+		if err := s.refill(); err != nil {
+			return trace.Event{}, err
 		}
-		if !ok {
-			s.err = io.EOF
-			s.pump(true)
-			return trace.Event{}, io.EOF
-		}
-		if it.err != nil {
-			s.err = it.err
-			s.pump(true)
-			return trace.Event{}, it.err
-		}
-		s.cur, s.pos = it.events, 0
-		s.adopt(it.events)
-		// Cursor lag for the channel strategy is the chunks still buffered
-		// behind the producer after this receive.
-		s.o.consumerChunk(s.id, len(it.events), uint64(len(s.ch)))
 	}
-	e := s.cur[s.pos]
+	if s.aos == nil {
+		s.aos = s.cur.aos()
+	}
+	e := s.aos[s.pos]
 	s.pos++
 	return e, nil
+}
+
+// NextChunkSoA implements stream.SoASource: a column view of the remaining
+// events of the current chunk, valid until the next call.
+func (s *chanSource) NextChunkSoA() (*stream.ChunkSoA, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	for s.cur == nil || s.pos >= s.cur.n {
+		if err := s.refill(); err != nil {
+			return nil, err
+		}
+	}
+	s.view = s.cur.cols().Slice(s.pos, s.cur.n)
+	s.pos = s.cur.n
+	return &s.view, nil
 }
 
 // Run decodes src exactly once and broadcasts the events to every consumer
@@ -370,7 +498,7 @@ func (c Config) runChannels(src stream.Source, consumers []Consumer, smps []Samp
 				sp.Arg("events", total).End()
 			}
 		}()
-		cs, _ := src.(stream.ChunkSource)
+		filler := newChunkFiller(src)
 		for {
 			select {
 			case <-stop:
@@ -382,12 +510,16 @@ func (c Config) runChannels(src stream.Source, consumers []Consumer, smps []Samp
 			if o.tracing() {
 				csp = o.tracer.Begin("chunk", "decode", 0)
 			}
-			chunk, terminal := fillChunk(src, cs, make([]trace.Event, 0, c.ChunkEvents), c.ChunkEvents)
-			if len(chunk) > 0 {
-				total += uint64(len(chunk))
-				o.decoded(len(chunk))
-				csp.Arg("events", len(chunk)).End()
-				if !broadcast(item{events: chunk}) {
+			// A fresh region per broadcast: the chunk is shared read-only by
+			// every consumer, so it cannot be recycled (the ring strategy is
+			// the allocation-free path).
+			chunk := &bcastChunk{}
+			terminal := filler.fill(chunk, c.ChunkEvents)
+			if n := chunk.n; n > 0 {
+				total += uint64(n)
+				o.decoded(n)
+				csp.Arg("events", n).End()
+				if !broadcast(item{chunk: chunk}) {
 					sendAll(item{err: ErrCanceled})
 					return
 				}

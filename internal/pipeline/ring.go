@@ -47,8 +47,8 @@ type ringState struct {
 	notFull  *sync.Cond // producer: a slot was released or the run stopped
 	notEmpty *sync.Cond // consumers: a chunk was published or the run closed
 
-	slots [][]trace.Event // ring of reusable chunk buffers
-	head  uint64          // chunks published so far
+	slots []*bcastChunk // ring of reusable chunk buffers (SoA + AoS view)
+	head  uint64        // chunks published so far
 
 	taken    []uint64 // per consumer: chunks handed to its source
 	released []uint64 // per consumer: chunks it has finished reading
@@ -64,7 +64,7 @@ type ringState struct {
 
 func newRingState(capacity, consumers int, o *engineObs) *ringState {
 	r := &ringState{
-		slots:    make([][]trace.Event, capacity),
+		slots:    make([]*bcastChunk, capacity),
 		taken:    make([]uint64, consumers),
 		released: make([]uint64, consumers),
 		done:     make([]bool, consumers),
@@ -89,10 +89,10 @@ func (r *ringState) minReleased() uint64 {
 }
 
 // buffer blocks until the next ring slot is reusable — every live consumer
-// has released it — and returns its backing array, emptied, for the producer
+// has released it — and returns its chunk buffer, emptied, for the producer
 // to fill outside the lock. It reports false once decoding is pointless
 // (cancellation, or every consumer has returned).
-func (r *ringState) buffer(chunkEvents int) ([]trace.Event, bool) {
+func (r *ringState) buffer(chunkEvents int) (*bcastChunk, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var waited time.Duration
@@ -114,23 +114,27 @@ func (r *ringState) buffer(chunkEvents int) ([]trace.Event, bool) {
 		}
 	}
 	r.o.producerStall(waited)
-	slot := &r.slots[r.head%uint64(len(r.slots))]
-	if cap(*slot) < chunkEvents {
-		*slot = make([]trace.Event, 0, chunkEvents)
+	slot := r.slots[r.head%uint64(len(r.slots))]
+	if slot == nil {
+		slot = &bcastChunk{}
+		r.slots[r.head%uint64(len(r.slots))] = slot
+	} else {
+		slot.reset()
 	}
-	return (*slot)[:0], true
+	return slot, true
 }
 
 // publish makes the filled chunk visible to every consumer with a single
-// head increment (one copy, one wakeup — no per-consumer send). It reports
-// false if the run was canceled while the producer was filling the chunk.
-func (r *ringState) publish(events []trace.Event) bool {
+// head increment (one slot write, one wakeup — no per-consumer send). It
+// reports false if the run was canceled while the producer was filling the
+// chunk.
+func (r *ringState) publish(chunk *bcastChunk) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.stopped || r.ndone == len(r.done) {
 		return false
 	}
-	r.slots[r.head%uint64(len(r.slots))] = events
+	r.slots[r.head%uint64(len(r.slots))] = chunk
 	r.head++
 	if r.o.enabled() {
 		r.o.ringOccupancy(r.head - r.minReleased())
@@ -179,9 +183,9 @@ func (r *ringState) finish(id int) {
 
 // take returns the consumer's next chunk, releasing the previous one (the
 // consumer has exhausted it — that release is what lets the producer reuse
-// the slot's backing array). A false ok is the in-band ending: err is the
+// the slot's region). A false ok is the in-band ending: err is the
 // terminal error, or nil for a clean end of stream.
-func (r *ringState) take(id int) (events []trace.Event, err error, ok bool) {
+func (r *ringState) take(id int) (chunk *bcastChunk, err error, ok bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.taken[id] > r.released[id] {
@@ -202,10 +206,10 @@ func (r *ringState) take(id int) (events []trace.Event, err error, ok bool) {
 	if r.taken[id] < r.head {
 		// Cursor lag: chunks published ahead of this cursor before the take.
 		lag := r.head - r.taken[id]
-		ev := r.slots[r.taken[id]%uint64(len(r.slots))]
+		ch := r.slots[r.taken[id]%uint64(len(r.slots))]
 		r.taken[id]++
-		r.o.consumerChunk(id, len(ev), lag)
-		return ev, nil, true
+		r.o.consumerChunk(id, ch.n, lag)
+		return ch, nil, true
 	}
 	return nil, r.terminal, false
 }
@@ -214,12 +218,39 @@ func (r *ringState) take(id int) (events []trace.Event, err error, ok bool) {
 // evaluation loop pulls. Like chanSource, terminal conditions are strictly
 // in band: every event published to the ring is observed before any ending.
 type ringSource struct {
-	r   *ringState
-	id  int
-	cur []trace.Event
-	pos int
-	err error
+	r    *ringState
+	id   int
+	cur  *bcastChunk
+	aos  []trace.Event // cur's AoS view, fetched on first per-event read
+	view stream.ChunkSoA
+	pos  int
+	err  error
 	sampleState
+}
+
+// refill advances the cursor to the next published chunk, handling the
+// sample pump and in-band terminals. It returns the terminal error once the
+// stream ends (also recorded in s.err).
+func (s *ringSource) refill() error {
+	// The previous chunk is fully processed: offer the consumer a sample
+	// at its boundary BEFORE take releases the slot (the boundary seq was
+	// captured at adoption — the slot region must not be re-read once the
+	// producer can recycle it).
+	s.pump(false)
+	chunk, err, ok := s.r.take(s.id)
+	if !ok {
+		if err == nil {
+			err = io.EOF
+		}
+		s.err = err
+		// Drop the slot reference; the slot itself was released by take.
+		s.cur, s.aos, s.pos = nil, nil, 0
+		s.pump(true)
+		return err
+	}
+	s.cur, s.aos, s.pos = chunk, nil, 0
+	s.adopt(chunk)
+	return nil
 }
 
 // Next implements stream.Source.
@@ -227,29 +258,34 @@ func (s *ringSource) Next() (trace.Event, error) {
 	if s.err != nil {
 		return trace.Event{}, s.err
 	}
-	for s.pos >= len(s.cur) {
-		// The previous chunk is fully processed: offer the consumer a sample
-		// at its boundary BEFORE take releases the slot (the boundary seq was
-		// captured at adoption — the slot buffer must not be re-read once the
-		// producer can recycle it).
-		s.pump(false)
-		events, err, ok := s.r.take(s.id)
-		if !ok {
-			if err == nil {
-				err = io.EOF
-			}
-			s.err = err
-			// Drop the slot reference; the slot itself was released by take.
-			s.cur, s.pos = nil, 0
-			s.pump(true)
+	for s.cur == nil || s.pos >= s.cur.n {
+		if err := s.refill(); err != nil {
 			return trace.Event{}, err
 		}
-		s.cur, s.pos = events, 0
-		s.adopt(events)
 	}
-	e := s.cur[s.pos]
+	if s.aos == nil {
+		s.aos = s.cur.aos()
+	}
+	e := s.aos[s.pos]
 	s.pos++
 	return e, nil
+}
+
+// NextChunkSoA implements stream.SoASource: a column view of the remaining
+// events of the current chunk, valid until the next call (which releases
+// the underlying slot back to the producer).
+func (s *ringSource) NextChunkSoA() (*stream.ChunkSoA, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	for s.cur == nil || s.pos >= s.cur.n {
+		if err := s.refill(); err != nil {
+			return nil, err
+		}
+	}
+	s.view = s.cur.cols().Slice(s.pos, s.cur.n)
+	s.pos = s.cur.n
+	return &s.view, nil
 }
 
 // runRing is Config.Run's ring strategy (two or more consumers; the 0/1
@@ -274,7 +310,7 @@ func (c Config) runRing(src stream.Source, consumers []Consumer, smps []Sampler,
 				sp.Arg("events", total).End()
 			}
 		}()
-		cs, _ := src.(stream.ChunkSource)
+		filler := newChunkFiller(src)
 		for {
 			chunk, ok := r.buffer(c.ChunkEvents)
 			if !ok {
@@ -285,11 +321,11 @@ func (c Config) runRing(src stream.Source, consumers []Consumer, smps []Sampler,
 			if o.tracing() {
 				csp = o.tracer.Begin("chunk", "decode", 0)
 			}
-			chunk, terminal := fillChunk(src, cs, chunk, c.ChunkEvents)
-			if len(chunk) > 0 {
-				total += uint64(len(chunk))
-				o.decoded(len(chunk))
-				csp.Arg("events", len(chunk)).End()
+			terminal := filler.fill(chunk, c.ChunkEvents)
+			if n := chunk.n; n > 0 {
+				total += uint64(n)
+				o.decoded(n)
+				csp.Arg("events", n).End()
 				if !r.publish(chunk) {
 					r.close(ErrCanceled)
 					return

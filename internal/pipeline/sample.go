@@ -80,10 +80,12 @@ type sampleState struct {
 	seen    bool
 }
 
-// adopt records the boundary seq of a freshly adopted chunk.
-func (s *sampleState) adopt(events []trace.Event) {
-	if s.sampler != nil && len(events) > 0 {
-		s.last = events[len(events)-1].Seq
+// adopt records the boundary seq of a freshly adopted chunk. The seq was
+// captured when the producer filled the chunk, so adoption never reads the
+// chunk buffers themselves (nor races their lazy form conversion).
+func (s *sampleState) adopt(b *bcastChunk) {
+	if s.sampler != nil && b.n > 0 {
+		s.last = b.last
 		s.seen = true
 	}
 }

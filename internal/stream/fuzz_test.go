@@ -1,8 +1,10 @@
 package stream
 
 import (
+	"bufio"
 	"bytes"
 	"errors"
+	"fmt"
 	"io"
 	"testing"
 
@@ -97,13 +99,54 @@ func FuzzDecode(f *testing.F) {
 	})
 }
 
+// collectSoA decodes data by walking the chunk index directly with the batch
+// struct-of-arrays decoder — parseHeader, ReadIndex, then readChunkRegion +
+// decodeChunkRegion per chunk, no parallel plumbing — returning the
+// concatenated events. It mirrors OpenIndexed's open-side acceptance exactly
+// so the three decoders (streaming, indexed, batch SoA) can be held to an
+// identical accepted-file set.
+func collectSoA(data []byte) ([]trace.Event, error) {
+	ra := bytes.NewReader(data)
+	size := int64(len(data))
+	pr := &posReader{r: bufio.NewReader(io.NewSectionReader(ra, 0, size))}
+	_, version, err := parseHeader(pr)
+	if err != nil {
+		return nil, err
+	}
+	if version < Version {
+		return nil, fmt.Errorf("version %d: %w", version, ErrNoIndex)
+	}
+	ix, err := ReadIndex(ra, size, pr.n)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		events  []trace.Event
+		scratch []byte
+		region  []byte
+		soa     ChunkSoA
+	)
+	for _, ref := range ix.Chunks {
+		if region, scratch, err = readChunkRegion(ra, ref, scratch); err != nil {
+			return events, err
+		}
+		soa.Reset()
+		if err = decodeChunkRegion(region, ref, &soa); err != nil {
+			return events, err
+		}
+		events = soa.AppendTo(events)
+	}
+	return events, nil
+}
+
 // FuzzDecodeIndexed feeds arbitrary bytes to the indexed (seeking, parallel)
-// open path with the streaming decoder as the differential oracle: OpenIndexed
-// must never panic, and whenever it succeeds, the parallel decode must yield
-// exactly the event stream the serial Reader yields — same events, same
-// sequence numbers, same clean EOF. An input the serial decoder rejects that
-// the indexed path decodes (or vice versa, for inputs the indexed path
-// accepts) would be a silent-corruption hole.
+// open path with the streaming decoder as the differential oracle, and the
+// batch struct-of-arrays decoder (collectSoA) as a third: OpenIndexed must
+// never panic, and whenever it succeeds, both the parallel decode and the
+// direct SoA walk must yield exactly the event stream the serial Reader
+// yields — same events, same sequence numbers, same clean EOF. An input any
+// one of the three rejects that another decodes (or decodes differently)
+// would be a silent-corruption hole.
 func FuzzDecodeIndexed(f *testing.F) {
 	meta := Meta{Workload: "db2", Nodes: 4, Scale: 0.25, Seed: 7}
 	events := []trace.Event{
@@ -123,10 +166,23 @@ func FuzzDecodeIndexed(f *testing.F) {
 	mutOff := append([]byte(nil), valid...)
 	mutOff[len(mutOff)-indexSuffixLen-1] ^= 0x40 // corrupt an index varint
 	f.Add(mutOff)
+	// Chunk-body mutations aimed at the batch decoder's varint arithmetic:
+	// a flipped continuation bit mid-body (an overlong or truncated varint)
+	// and a zeroed count byte (count/index disagreement).
+	mutBody := append([]byte(nil), valid...)
+	mutBody[len(mutBody)/2] ^= 0x80
+	f.Add(mutBody)
+	mutCount := append([]byte(nil), valid...)
+	mutCount[len(mutCount)/3] = 0
+	f.Add(mutCount)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
+		soa, soaErr := collectSoA(data)
 		pr, err := OpenIndexed(bytes.NewReader(data), int64(len(data)), ParallelOptions{Workers: 2})
 		if err != nil {
+			if soaErr == nil {
+				t.Fatalf("batch SoA walk accepted a stream the indexed open rejects: %v", err)
+			}
 			return // structured rejection; FuzzDecode covers the serial side
 		}
 		defer pr.Close()
@@ -140,15 +196,24 @@ func FuzzDecodeIndexed(f *testing.F) {
 		if (gotErr == nil) != (wantErr == nil) {
 			t.Fatalf("indexed decode err = %v, serial decode err = %v", gotErr, wantErr)
 		}
+		if (soaErr == nil) != (wantErr == nil) {
+			t.Fatalf("batch SoA decode err = %v, serial decode err = %v", soaErr, wantErr)
+		}
 		if gotErr != nil {
-			return // both rejected the body; the errors need not match textually
+			return // all three rejected the body; the errors need not match textually
 		}
 		if got.Len() != want.Len() {
 			t.Fatalf("indexed decode yielded %d events, serial %d", got.Len(), want.Len())
 		}
+		if len(soa) != want.Len() {
+			t.Fatalf("batch SoA decode yielded %d events, serial %d", len(soa), want.Len())
+		}
 		for i := range want.Events {
 			if got.Events[i] != want.Events[i] {
 				t.Fatalf("event %d: indexed %+v != serial %+v", i, got.Events[i], want.Events[i])
+			}
+			if soa[i] != want.Events[i] {
+				t.Fatalf("event %d: batch SoA %+v != serial %+v", i, soa[i], want.Events[i])
 			}
 		}
 	})

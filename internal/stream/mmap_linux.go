@@ -1,0 +1,26 @@
+//go:build linux
+
+package stream
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only and advises the kernel that the
+// decode will sweep the file forward (MADV_SEQUENTIAL: aggressive
+// readahead, early page reclaim behind the sweep) and wants it resident
+// (MADV_WILLNEED: start readahead now, ahead of the first worker touch).
+// The advice calls are best-effort — the mapping is valid without them.
+func mapFile(f *os.File, size int64) ([]byte, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, err
+	}
+	syscall.Madvise(data, syscall.MADV_SEQUENTIAL)
+	syscall.Madvise(data, syscall.MADV_WILLNEED)
+	return data, nil
+}
+
+// unmapFile releases a mapFile mapping.
+func unmapFile(data []byte) error { return syscall.Munmap(data) }

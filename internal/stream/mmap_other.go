@@ -1,0 +1,16 @@
+//go:build !linux
+
+package stream
+
+import (
+	"errors"
+	"os"
+)
+
+// errNoMmap makes OpenFileMmap take its ReadAt fallback on platforms
+// without a wired-up mapping implementation.
+var errNoMmap = errors.New("stream: mmap unsupported on this platform")
+
+func mapFile(f *os.File, size int64) ([]byte, error) { return nil, errNoMmap }
+
+func unmapFile(data []byte) error { return nil }

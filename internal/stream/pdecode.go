@@ -3,18 +3,22 @@
 // hands chunk refs to N workers in stream order while enqueueing each
 // chunk's one-shot result channel onto a bounded window, and the consumer
 // drains the window in order — parallel execution, serial-identical output.
-// Chunk buffers recycle through a free list, so decode allocates
+// Each worker reads a chunk's bytes as one contiguous region (a single
+// ReadAt into a reusable scratch buffer, or a zero-copy view of mmap'd
+// pages) and batch-decodes it into a struct-of-arrays ChunkSoA region
+// (soa.go) with index-based varint arithmetic — no io.ByteReader dispatch.
+// SoA regions recycle through a free list, so decode allocates
 // O(workers·chunk), not O(chunks).
 package stream
 
 import (
 	"bufio"
-	"encoding/binary"
 	"fmt"
 	"io"
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tsm/internal/obs"
 	"tsm/internal/trace"
@@ -35,6 +39,12 @@ type ParallelOptions struct {
 	// [From, To); To == 0 means the end of the trace. Events keep the
 	// sequence numbers they have in the full trace.
 	From, To uint64
+	// Mmap maps the file into memory (OpenFileMmap) instead of issuing a
+	// ReadAt per chunk, letting workers decode straight out of the mapped
+	// pages. Only honoured by OpenFileParallel (OpenIndexed takes whatever
+	// io.ReaderAt it is given); on platforms without mmap support the flag
+	// silently falls back to ReadAt, producing identical output.
+	Mmap bool
 	// Metrics, when non-nil, receives per-worker and aggregate decode
 	// counters (stream.decode.*).
 	Metrics *obs.Registry
@@ -44,22 +54,23 @@ type ParallelOptions struct {
 }
 
 // ParallelReader decodes an indexed trace with a pool of per-chunk workers,
-// merging chunks in stream order. It implements Source (and ChunkSource),
-// yields exactly the byte-for-byte event sequence of the serial Reader, and
-// must be Closed to release its goroutines.
+// merging chunks in stream order. It implements Source (and ChunkSource and
+// SoASource), yields exactly the byte-for-byte event sequence of the serial
+// Reader, and must be Closed to release its goroutines.
 type ParallelReader struct {
 	meta  Meta
 	index *Index
 
 	results chan chan chunkResult
-	free    chan []trace.Event
+	free    chan *ChunkSoA
 	stop    chan struct{}
 	wg      sync.WaitGroup
 
-	cur    []trace.Event // view into curBuf between lo and hi
-	curBuf []trace.Event
-	pos    int
-	err    error
+	cur     *ChunkSoA // current in-order chunk region; rows [pos, hi) remain
+	pos, hi int
+	view    ChunkSoA      // NextChunkSoA's reusable column view into cur
+	aos     []trace.Event // NextChunk's reusable adapter buffer
+	err     error
 
 	selected uint64
 	consumed atomic.Uint64
@@ -75,7 +86,7 @@ type job struct {
 }
 
 type chunkResult struct {
-	buf    []trace.Event
+	soa    *ChunkSoA
 	lo, hi int
 	err    error
 }
@@ -85,9 +96,23 @@ var errReaderClosed = fmt.Errorf("stream: parallel reader closed")
 
 // OpenFileParallel opens path via the chunk index for parallel decode,
 // failing with a wrapped ErrNoIndex on version 1/2 traces (callers fall
-// back to OpenFile) and ErrCorrupt on an invalid index. The caller must
-// Close the reader.
+// back to OpenFile) and ErrCorrupt on an invalid index. With opt.Mmap the
+// file is mapped into memory and chunks decode zero-copy from the mapping.
+// The caller must Close the reader.
 func OpenFileParallel(path string, opt ParallelOptions) (*ParallelReader, error) {
+	if opt.Mmap {
+		m, err := OpenFileMmap(path)
+		if err != nil {
+			return nil, err
+		}
+		r, err := OpenIndexed(m, m.Size(), opt)
+		if err != nil {
+			m.Close()
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		r.closer = m
+		return r, nil
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -137,7 +162,7 @@ func OpenIndexed(ra io.ReaderAt, size int64, opt ParallelOptions) (*ParallelRead
 		meta:     meta,
 		index:    index,
 		results:  make(chan chan chunkResult, window),
-		free:     make(chan []trace.Event, window+workers),
+		free:     make(chan *ChunkSoA, window+workers),
 		stop:     make(chan struct{}),
 		selected: uint64(len(sel)),
 	}
@@ -187,9 +212,11 @@ func (r *ParallelReader) dispatch(sel []ChunkRef, jobs chan<- job, opt ParallelO
 	}
 }
 
-// worker decodes chunks from jobs until the channel closes, reusing one
-// section reader and one bufio buffer across chunks so per-chunk allocation
-// is limited to free-list misses.
+// worker decodes chunks from jobs until the channel closes. Each chunk is
+// read as one contiguous region — a single ReadAt into the worker's scratch
+// buffer, or a zero-copy view when ra is an mmap — and batch-decoded into a
+// recycled SoA region, so per-chunk allocation is limited to free-list
+// misses.
 func (r *ParallelReader) worker(id int, ra io.ReaderAt, jobs <-chan job, opt ParallelOptions) {
 	defer r.wg.Done()
 	chunks := opt.Metrics.Counter(fmt.Sprintf("stream.decode.worker.%d.chunks", id))
@@ -198,17 +225,29 @@ func (r *ParallelReader) worker(id int, ra io.ReaderAt, jobs <-chan job, opt Par
 	allChunks := opt.Metrics.Counter("stream.decode.chunks")
 	allEvents := opt.Metrics.Counter("stream.decode.events")
 	opt.Tracer.NameLane(decodeWorkerLane0+id, fmt.Sprintf("decode worker %d", id))
-	cr := &chunkByteReader{ra: ra}
-	br := bufio.NewReaderSize(cr, 32<<10)
+	var scratch []byte
 	for jb := range jobs {
-		var buf []trace.Event
+		var soa *ChunkSoA
 		select {
-		case buf = <-r.free:
+		case soa = <-r.free:
+			soa.Reset()
 		default:
+			soa = &ChunkSoA{}
 		}
 		sp := opt.Tracer.Begin("chunk", "decode", decodeWorkerLane0+id)
-		res := decodeChunkAt(cr, br, jb.ref, buf)
+		var t0 time.Time
+		if opt.Metrics != nil {
+			t0 = time.Now()
+		}
+		var res chunkResult
+		res.soa = soa
+		var region []byte
+		region, scratch, res.err = readChunkRegion(ra, jb.ref, scratch)
 		if res.err == nil {
+			res.err = decodeChunkRegion(region, jb.ref, soa)
+		}
+		if res.err == nil {
+			res.hi = soa.Len()
 			// Trim boundary chunks to the requested event range; events keep
 			// their full-trace sequence numbers.
 			if opt.From > jb.ref.Start {
@@ -221,7 +260,9 @@ func (r *ParallelReader) worker(id int, ra io.ReaderAt, jobs <-chan job, opt Par
 				res.hi = res.lo
 			}
 		}
-		busyNs.Add(uint64(sp.Elapsed().Nanoseconds()))
+		if opt.Metrics != nil {
+			busyNs.Add(uint64(time.Since(t0).Nanoseconds()))
+		}
 		sp.Arg("events", jb.ref.Events).Arg("offset", jb.ref.Offset).End()
 		if res.err == nil {
 			chunks.Inc()
@@ -231,58 +272,6 @@ func (r *ParallelReader) worker(id int, ra io.ReaderAt, jobs <-chan job, opt Par
 		}
 		jb.out <- res
 	}
-}
-
-// chunkByteReader reads a [off, end) window of an io.ReaderAt, reusable
-// across chunks without per-chunk allocation.
-type chunkByteReader struct {
-	ra       io.ReaderAt
-	off, end int64
-}
-
-func (c *chunkByteReader) reset(off, end int64) { c.off, c.end = off, end }
-
-func (c *chunkByteReader) Read(p []byte) (int, error) {
-	if c.off >= c.end {
-		return 0, io.EOF
-	}
-	if max := c.end - c.off; int64(len(p)) > max {
-		p = p[:max]
-	}
-	n, err := c.ra.ReadAt(p, c.off)
-	c.off += int64(n)
-	if err == io.EOF && n > 0 {
-		err = nil
-	}
-	return n, err
-}
-
-// decodeChunkAt decodes the single chunk at ref into buf (grown as needed),
-// stamping sequence numbers from the chunk's index position. The decoded
-// count must match the index, so an offset seeded mid-chunk or into
-// arbitrary bytes fails with ErrCorrupt/ErrTruncated instead of yielding a
-// silently different stream.
-func decodeChunkAt(cr *chunkByteReader, br *bufio.Reader, ref ChunkRef, buf []trace.Event) chunkResult {
-	cr.reset(ref.Offset, ref.Offset+ref.Length)
-	br.Reset(cr)
-	n, err := binary.ReadUvarint(br)
-	if err != nil {
-		return chunkResult{buf: buf, err: fmt.Errorf("stream: reading chunk count: %w", errTrunc(err))}
-	}
-	if n != ref.Events {
-		return chunkResult{buf: buf, err: fmt.Errorf("%w: chunk at offset %d holds %d events, index says %d", ErrCorrupt, ref.Offset, n, ref.Events)}
-	}
-	events, err := appendChunkEvents(br, n, buf[:0])
-	if err != nil {
-		return chunkResult{buf: events, err: err}
-	}
-	if _, err := br.ReadByte(); err != io.EOF {
-		return chunkResult{buf: events, err: fmt.Errorf("%w: chunk at offset %d longer than its index extent", ErrCorrupt, ref.Offset)}
-	}
-	for i := range events {
-		events[i].Seq = ref.Start + uint64(i)
-	}
-	return chunkResult{buf: events, lo: 0, hi: len(events)}
 }
 
 // Meta returns the stream metadata decoded from the header.
@@ -306,12 +295,12 @@ func (r *ParallelReader) Next() (trace.Event, error) {
 	if r.err != nil {
 		return trace.Event{}, r.err
 	}
-	for r.pos >= len(r.cur) {
+	for r.pos >= r.hi {
 		if !r.fetch() {
 			return trace.Event{}, r.err
 		}
 	}
-	e := r.cur[r.pos]
+	e := r.cur.Event(r.pos)
 	r.pos++
 	return e, nil
 }
@@ -322,25 +311,43 @@ func (r *ParallelReader) NextChunk() ([]trace.Event, error) {
 	if r.err != nil {
 		return nil, r.err
 	}
-	for r.pos >= len(r.cur) {
+	for r.pos >= r.hi {
 		if !r.fetch() {
 			return nil, r.err
 		}
 	}
-	out := r.cur[r.pos:]
-	r.pos = len(r.cur)
-	return out, nil
+	view := r.cur.Slice(r.pos, r.hi)
+	r.pos = r.hi
+	r.aos = view.AppendTo(r.aos[:0])
+	return r.aos, nil
+}
+
+// NextChunkSoA implements SoASource: a column view of the remaining events
+// of the current chunk, valid until the next NextChunkSoA/NextChunk/Next
+// call.
+func (r *ParallelReader) NextChunkSoA() (*ChunkSoA, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
+	for r.pos >= r.hi {
+		if !r.fetch() {
+			return nil, r.err
+		}
+	}
+	r.view = r.cur.Slice(r.pos, r.hi)
+	r.pos = r.hi
+	return &r.view, nil
 }
 
 // fetch advances to the next in-order chunk, recycling the previous chunk's
-// buffer; it reports false (with r.err set) at end of stream or on error.
+// region; it reports false (with r.err set) at end of stream or on error.
 func (r *ParallelReader) fetch() bool {
-	if r.curBuf != nil {
+	if r.cur != nil {
 		select {
-		case r.free <- r.curBuf[:0]:
+		case r.free <- r.cur:
 		default:
 		}
-		r.cur, r.curBuf = nil, nil
+		r.cur = nil
 	}
 	for {
 		out, ok := <-r.results
@@ -355,15 +362,17 @@ func (r *ParallelReader) fetch() bool {
 		}
 		r.consumed.Add(1)
 		if res.hi <= res.lo {
-			select {
-			case r.free <- res.buf[:0]:
-			default:
+			if res.soa != nil {
+				select {
+				case r.free <- res.soa:
+				default:
+				}
 			}
 			continue
 		}
-		r.curBuf = res.buf
-		r.cur = res.buf[res.lo:res.hi]
-		r.pos = 0
+		r.cur = res.soa
+		r.pos = res.lo
+		r.hi = res.hi
 		return true
 	}
 }

@@ -157,12 +157,14 @@ func (s *System) CMOB(node mem.NodeID) *CMOB { return s.cmobs[node] }
 
 // Consumption processes a consumption event in global order and reports
 // whether TSE eliminated it (the block was already in the node's SVB).
-func (s *System) Consumption(e trace.Event) bool {
-	node := e.Node
+func (s *System) Consumption(e trace.Event) bool { return s.consume(e.Node, e.Block) }
+
+// consume is the consumption inner loop over the only two fields a
+// consumption uses, shared by the per-event path and RunColumns.
+func (s *System) consume(node mem.NodeID, block mem.BlockAddr) bool {
 	if int(node) < 0 || int(node) >= s.cfg.Nodes {
 		panic(fmt.Sprintf("tse: consumption from node %d outside [0,%d)", node, s.cfg.Nodes))
 	}
-	block := e.Block
 
 	// The directory lookup happens on the miss path; the engine only uses
 	// the pointers if the SVB misses.
@@ -189,9 +191,32 @@ func (s *System) Consumption(e trace.Event) bool {
 
 // Write processes a write event: streamed copies of the block anywhere in
 // the system are invalidated.
-func (s *System) Write(e trace.Event) {
+func (s *System) Write(e trace.Event) { s.writeBlock(e.Block) }
+
+// writeBlock is the write inner loop, shared by the per-event path and
+// RunColumns.
+func (s *System) writeBlock(block mem.BlockAddr) {
 	for _, eng := range s.engines {
-		eng.Write(e.Block)
+		eng.Write(block)
+	}
+}
+
+// RunColumns processes one chunk of events held as parallel columns (the
+// struct-of-arrays regions decoded by internal/stream), in column order.
+// This is the columnar form of RunSource's inner loop: the kind classify
+// sweeps a dense same-typed array and each event touches only the columns
+// its kind actually uses — consumptions read node+block, writes read block,
+// read-miss annotations are skipped without assembling anything. Results
+// are bit-identical to feeding the same events through Consumption/Write
+// one at a time.
+func (s *System) RunColumns(kinds []trace.EventKind, nodes []mem.NodeID, blocks []mem.BlockAddr) {
+	for i, k := range kinds {
+		switch k {
+		case trace.KindConsumption:
+			s.consume(nodes[i], blocks[i])
+		case trace.KindWrite:
+			s.writeBlock(blocks[i])
+		}
 	}
 }
 

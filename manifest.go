@@ -61,10 +61,11 @@ type ReplaySettings struct {
 	Op string `json:"op"`
 	// Sweep is the sweep name for sweep runs.
 	Sweep string `json:"sweep,omitempty"`
-	// DecodeWorkers/From/To mirror ReplayConfig.
+	// DecodeWorkers/From/To/Mmap mirror ReplayConfig.
 	DecodeWorkers int    `json:"decode_workers,omitempty"`
 	From          uint64 `json:"from,omitempty"`
 	To            uint64 `json:"to,omitempty"`
+	Mmap          bool   `json:"mmap,omitempty"`
 }
 
 // Manifest is the JSON shape of a run manifest.
@@ -124,6 +125,7 @@ func (rm *RunManifest) begin(op, path string, rc ReplayConfig, sweep string, inf
 		DecodeWorkers: rc.DecodeWorkers,
 		From:          rc.From,
 		To:            rc.To,
+		Mmap:          rc.Mmap,
 	}
 	rm.m.Trace = TraceProvenance{Path: path}
 	if descErr != nil {

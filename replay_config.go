@@ -35,14 +35,24 @@ type ReplayConfig struct {
 	// sequence numbers they have in the full trace. Requires a version 3
 	// (indexed) trace file.
 	From, To uint64
+	// Mmap maps the trace file into memory (stream.OpenFileMmap) so decode
+	// workers parse chunks straight out of the mapped pages — no per-chunk
+	// read syscall, no copy. It implies the indexed open (per-core decode
+	// workers unless DecodeWorkers says otherwise, like From/To); on
+	// platforms without mmap support the mapping quietly degrades to ReadAt,
+	// and on version 1/2 files the request falls back to the serial decoder
+	// like any other parallel request. Output is byte-identical either way.
+	Mmap bool
 }
 
 // ranged reports whether the config restricts replay to an event sub-range.
 func (rc ReplayConfig) ranged() bool { return rc.From > 0 || rc.To > 0 }
 
 // wantsIndex reports whether the config needs the indexed (seeking) open at
-// all — any parallel-decode request or event range does.
-func (rc ReplayConfig) wantsIndex() bool { return rc.DecodeWorkers != 0 || rc.ranged() }
+// all — any parallel-decode request, event range or mmap request does.
+func (rc ReplayConfig) wantsIndex() bool {
+	return rc.DecodeWorkers != 0 || rc.ranged() || rc.Mmap
+}
 
 // replaySource is what file replay needs from an open trace: the event
 // stream, the embedded generation metadata, a completion fraction for
@@ -72,6 +82,7 @@ func openReplaySource(path string, rc ReplayConfig, ins Instrumentation) (replay
 		Workers: workers,
 		From:    rc.From,
 		To:      rc.To,
+		Mmap:    rc.Mmap,
 		Metrics: ins.Metrics,
 		Tracer:  ins.Tracer,
 	})

@@ -134,6 +134,38 @@ func TestRangedFileReplay(t *testing.T) {
 	}
 }
 
+// TestMmapFileReplayParity extends the parity to mmap-backed decode: an
+// mmap replay must produce a Report bit-identical to the serial streaming
+// decode at any worker count (0 selects the indexed default), and an mmap
+// request on a pre-index file falls back to the serial decoder like any
+// other parallel request. On platforms without mmap support the mapping
+// degrades to ReadAt, so the parity holds everywhere.
+func TestMmapFileReplayParity(t *testing.T) {
+	path := writeTestTrace(t, "db2")
+	want, err := EvaluateTSEFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 4, 8} {
+		got, err := EvaluateTSEFileWith(path, ReplayConfig{DecodeWorkers: workers, Mmap: true}, Instrumentation{})
+		if err != nil {
+			t.Fatalf("mmap workers=%d: %v", workers, err)
+		}
+		if got != want {
+			t.Fatalf("mmap workers=%d report %+v != serial report %+v", workers, got, want)
+		}
+	}
+
+	v2 := rewriteAsV2(t, path)
+	got, err := EvaluateTSEFileWith(v2, ReplayConfig{Mmap: true}, Instrumentation{})
+	if err != nil {
+		t.Fatalf("mmap request on v2 file should fall back, got: %v", err)
+	}
+	if got != want {
+		t.Fatalf("v2 mmap fallback report %+v != v3 report %+v", got, want)
+	}
+}
+
 // TestParallelRequestFallsBackOnV2 pins the compatibility contract: a
 // parallel-decode request on a pre-index (version 2) file quietly falls back
 // to the serial decoder and still produces the right report, while a RANGED
